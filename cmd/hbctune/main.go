@@ -1,0 +1,98 @@
+// Command hbctune explores the Adaptive Chunking parameter space for one
+// benchmark: it sweeps the target polling count and window size, reporting
+// run time, heartbeat detection rate, and the chunk sizes workers settle on
+// — the exploration behind the paper's choice of target 4 / window 8
+// (Fig. 13 and §6.6).
+//
+// Usage:
+//
+//	hbctune -bench spmv-powerlaw -scale 0.2
+//	hbctune -bench mandelbrot -targets 1,2,4,8,16 -windows 2,8,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hbc/internal/core"
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+	"hbc/internal/stats"
+	"hbc/internal/workloads"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "spmv-powerlaw", "benchmark to tune")
+		scale     = flag.Float64("scale", 0.5, "input scale")
+		workers   = flag.Int("workers", runtime.NumCPU(), "worker count")
+		runs      = flag.Int("runs", 3, "repetitions (median)")
+		heartbeat = flag.Duration("heartbeat", 100*time.Microsecond, "heartbeat period")
+		targets   = flag.String("targets", "1,2,4,8,16", "target polling counts to sweep")
+		windows   = flag.String("windows", "8", "window sizes to sweep")
+		verify    = flag.Bool("verify", false, "verify against the serial oracle")
+	)
+	flag.Parse()
+
+	w, err := workloads.New(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	w.Prepare(*scale)
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Adaptive Chunking sweep: %s (scale %.2f, %d workers)", *bench, *scale, *workers),
+		"target", "window", "median", "detection%", "chunk(w0)")
+	for _, win := range parseInts(*windows) {
+		for _, tgt := range parseInts(*targets) {
+			src := pulse.NewTimer()
+			team := sched.NewTeam(*workers)
+			drv := workloads.NewDriver(team, src, *heartbeat, core.Options{
+				TargetPolls: tgt,
+				WindowSize:  int(win),
+			})
+			if err := w.BindHBC(drv); err != nil {
+				fatal(err)
+			}
+			ds := make([]time.Duration, *runs)
+			for i := range ds {
+				t0 := time.Now()
+				w.RunHBC(drv)
+				ds[i] = time.Since(t0)
+			}
+			st := src.Stats()
+			chunk := drv.Execs()[0].Chunks(0)
+			drv.Close()
+			team.Close()
+			if *verify {
+				if err := w.Verify(); err != nil {
+					fatal(err)
+				}
+			}
+			tb.Row(tgt, win, stats.Median(ds), st.DetectionRate(), fmt.Sprint(chunk))
+		}
+	}
+	fmt.Println(tb.String())
+}
+
+func parseInts(csv string) []int64 {
+	var out []int64
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad integer list %q: %w", csv, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hbctune:", err)
+	os.Exit(1)
+}

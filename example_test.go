@@ -1,0 +1,106 @@
+package hbc_test
+
+import (
+	"fmt"
+
+	"hbc"
+)
+
+// The simplest use: a parallel map with no granularity tuning.
+func ExampleTeam_For() {
+	team := hbc.NewTeam(hbc.Workers(2))
+	defer team.Close()
+
+	out := make([]int64, 1000)
+	team.For(0, 1000, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * 2
+		}
+	})
+	fmt.Println(out[0], out[499], out[999])
+	// Output: 0 998 1998
+}
+
+// Reductions run on task-private accumulators merged at joins.
+func ExampleTeam_ForReduce() {
+	team := hbc.NewTeam(hbc.Workers(2))
+	defer team.Close()
+
+	acc := team.ForReduce(0, 1000, hbc.SumInt64(), func(lo, hi int64, acc any) {
+		s := acc.(*int64)
+		for i := lo; i < hi; i++ {
+			*s += i
+		}
+	})
+	fmt.Println(*acc.(*int64))
+	// Output: 499500
+}
+
+// A compiled nested loop: the paper's spmv structure, with the inner
+// reduction feeding the outer loop's tail work.
+func ExampleCompile() {
+	type env struct {
+		rowPtr []int64
+		val    []float64
+		out    []float64
+	}
+	// Two rows: row 0 has three values, row 1 has one.
+	e := &env{
+		rowPtr: []int64{0, 3, 4},
+		val:    []float64{1, 2, 3, 10},
+		out:    make([]float64, 2),
+	}
+	col := &hbc.Loop{
+		Name: "col",
+		Bounds: func(envAny any, idx []int64) (int64, int64) {
+			m := envAny.(*env)
+			return m.rowPtr[idx[0]], m.rowPtr[idx[0]+1]
+		},
+		Reduce: hbc.SumFloat64(),
+		Body: func(envAny any, _ []int64, lo, hi int64, acc any) {
+			m := envAny.(*env)
+			s := acc.(*float64)
+			for j := lo; j < hi; j++ {
+				*s += m.val[j]
+			}
+		},
+	}
+	row := &hbc.Loop{
+		Name:     "row",
+		Bounds:   func(any, []int64) (int64, int64) { return 0, 2 },
+		Children: []*hbc.Loop{col},
+		Post: func(envAny any, idx []int64, _ any, children []any) {
+			envAny.(*env).out[idx[0]] = *children[0].(*float64)
+		},
+	}
+	prog, err := hbc.Compile(&hbc.Nest{Name: "rowsum", Root: row}, hbc.Config{})
+	if err != nil {
+		panic(err)
+	}
+
+	team := hbc.NewTeam(hbc.Workers(2))
+	defer team.Close()
+	r := team.Load(prog, e)
+	defer r.Close()
+	r.Run()
+	fmt.Println(e.out)
+	// Output: [6 10]
+}
+
+// The serial elision executes the same nest with zero scheduling machinery.
+func ExampleProgram_RunSeq() {
+	sum := &hbc.Loop{
+		Name:   "sum",
+		Bounds: hbc.RangeN(10),
+		Reduce: hbc.SumInt64(),
+		Body: func(_ any, _ []int64, lo, hi int64, acc any) {
+			s := acc.(*int64)
+			for i := lo; i < hi; i++ {
+				*s += i
+			}
+		},
+	}
+	prog := hbc.MustCompile(&hbc.Nest{Name: "sum", Root: sum}, hbc.Config{})
+	fmt.Println(*prog.RunSeq(nil).(*int64))
+	// Output: 45
+}

@@ -1,0 +1,56 @@
+// Quickstart: heartbeat-scheduled parallel loops in three calls.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hbc"
+)
+
+func main() {
+	// A team of workers with the paper's default 100µs heartbeat.
+	team := hbc.NewTeam()
+	defer team.Close()
+
+	// A parallel map: every index of the range is logically parallel; the
+	// runtime decides at heartbeats how much parallelism to materialize, so
+	// there is no chunk size to tune.
+	const n = 2_000_000
+	out := make([]float64, n)
+	t0 := time.Now()
+	team.For(0, n, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			out[i] = math.Sqrt(float64(i))
+		}
+	})
+	fmt.Printf("map of %d elements: %v\n", n, time.Since(t0).Round(time.Microsecond))
+
+	// A parallel reduction: task-private accumulators are merged at joins.
+	t0 = time.Now()
+	acc := team.ForReduce(0, n, hbc.SumFloat64(), func(lo, hi int64, acc any) {
+		s := acc.(*float64)
+		for i := lo; i < hi; i++ {
+			*s += out[i]
+		}
+	})
+	fmt.Printf("sum = %.3e in %v\n", *acc.(*float64), time.Since(t0).Round(time.Microsecond))
+
+	// A nested 2D loop: both levels are DOALL; the outer level is promoted
+	// first, and inner parallelism is activated only when the outer level
+	// runs dry — heartbeat scheduling's outer-loop-first policy.
+	rows, cols := int64(1000), int64(1000)
+	grid := make([]float64, rows*cols)
+	t0 = time.Now()
+	team.For2D(0, rows, 0, cols, func(i, jlo, jhi int64) {
+		for j := jlo; j < jhi; j++ {
+			grid[i*cols+j] = float64(i) * float64(j)
+		}
+	})
+	fmt.Printf("2D nest %dx%d: %v\n", rows, cols, time.Since(t0).Round(time.Microsecond))
+}

@@ -1,0 +1,109 @@
+package hbc
+
+import "hbc/internal/loopnest"
+
+// This file provides the convenience parallel-for entry points: one-shot
+// loops that compile a single-leaf nest on the fly. For loops invoked
+// repeatedly or nested loops, build a Nest and Compile it once instead.
+
+type rangeEnv struct {
+	body func(lo, hi int64)
+}
+
+// For runs the DOALL loop over [lo, hi) under heartbeat scheduling. body is
+// called with sub-ranges chosen by the runtime (chunks between
+// promotion-ready points); every index in [lo, hi) is covered exactly once.
+// Iterations must be independent.
+func (t *Team) For(lo, hi int64, body func(lo, hi int64)) {
+	if hi <= lo {
+		return
+	}
+	nest := &Nest{
+		Name: "for",
+		Root: &Loop{
+			Name:   "for",
+			Bounds: loopnest.FixedRange(lo, hi),
+			Body: func(env any, _ []int64, a, b int64, _ any) {
+				env.(*rangeEnv).body(a, b)
+			},
+		},
+	}
+	prog := MustCompile(nest, Config{})
+	r := t.Load(prog, &rangeEnv{body: body})
+	defer r.Close()
+	r.Run()
+}
+
+type reduceEnv struct {
+	body func(lo, hi int64, acc any)
+}
+
+// ForReduce runs a reducing DOALL loop over [lo, hi): body accumulates each
+// sub-range into acc (an accumulator created by red.Fresh), and the runtime
+// merges task-private accumulators with red.Merge. It returns the final
+// accumulator.
+func (t *Team) ForReduce(lo, hi int64, red *Reduction, body func(lo, hi int64, acc any)) any {
+	nest := &Nest{
+		Name: "for-reduce",
+		Root: &Loop{
+			Name:   "for-reduce",
+			Bounds: loopnest.FixedRange(lo, hi),
+			Reduce: red,
+			Body: func(env any, _ []int64, a, b int64, acc any) {
+				env.(*reduceEnv).body(a, b, acc)
+			},
+		},
+	}
+	prog := MustCompile(nest, Config{})
+	r := t.Load(prog, &reduceEnv{body: body})
+	defer r.Close()
+	return r.Run()
+}
+
+type range2DEnv struct {
+	body func(i, jlo, jhi int64)
+}
+
+// For2D runs a two-level DOALL nest over [ilo, ihi) × [jlo, jhi): both
+// levels are parallel, with the outer level promoted first. body processes
+// columns [jlo, jhi) of row i.
+func (t *Team) For2D(ilo, ihi, jlo, jhi int64, body func(i, jlo, jhi int64)) {
+	if ihi <= ilo || jhi <= jlo {
+		return
+	}
+	inner := &Loop{
+		Name:   "for2d-inner",
+		Bounds: loopnest.FixedRange(jlo, jhi),
+		Body: func(env any, idx []int64, a, b int64, _ any) {
+			env.(*range2DEnv).body(idx[0], a, b)
+		},
+	}
+	nest := &Nest{
+		Name: "for2d",
+		Root: &Loop{
+			Name:     "for2d-outer",
+			Bounds:   loopnest.FixedRange(ilo, ihi),
+			Children: []*Loop{inner},
+		},
+	}
+	prog := MustCompile(nest, Config{})
+	r := t.Load(prog, &range2DEnv{body: body})
+	defer r.Close()
+	r.Run()
+}
+
+// Convenience reductions, re-exported from the IR package.
+var (
+	// SumFloat64 reduces into a *float64.
+	SumFloat64 = loopnest.SumFloat64
+	// SumInt64 reduces into a *int64.
+	SumInt64 = loopnest.SumInt64
+	// VecSumFloat64 reduces element-wise into a []float64 of length n.
+	VecSumFloat64 = loopnest.VecSumFloat64
+	// MaxInt64 keeps the maximum in a *int64.
+	MaxInt64 = loopnest.MaxInt64
+	// FixedRange and RangeN build constant Bounds.
+	FixedRange = loopnest.FixedRange
+	// RangeN builds Bounds over [0, n).
+	RangeN = loopnest.RangeN
+)

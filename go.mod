@@ -1,0 +1,3 @@
+module hbc
+
+go 1.22

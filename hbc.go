@@ -1,0 +1,289 @@
+// Package hbc is a Go implementation of heartbeat scheduling for loop-based
+// nested parallelism, reproducing the system of "Compiling Loop-Based Nested
+// Parallelism for Irregular Workloads" (ASPLOS 2024).
+//
+// Heartbeat scheduling solves the granularity-control problem of fork-join
+// parallel loops: expressing all available parallelism drowns irregular
+// workloads in task overheads, while chunking iterations statically starves
+// cores or unbalances them, with the right setting depending on the input.
+// Under heartbeat scheduling a program runs sequentially and promotes latent
+// parallelism only at heartbeats — periodic events arriving at a fixed rate —
+// so task creation cost is amortized against real work by construction,
+// while the asymptotic parallelism of the source program is preserved.
+//
+// # Quick start
+//
+//	team := hbc.NewTeam()          // workers = NumCPU, 100µs heartbeat
+//	defer team.Close()
+//	// All iterations of the range are logically parallel; the runtime
+//	// decides at heartbeats how much of that parallelism to realize.
+//	team.For(0, n, func(lo, hi int64) {
+//	    for i := lo; i < hi; i++ { out[i] = f(in[i]) }
+//	})
+//
+// # Nested loops
+//
+// Declare the whole DOALL nest — the analog of annotating every loop with
+// `#pragma omp parallel for` and compiling with the paper's HBC — and the
+// runtime promotes whichever level has parallelism left when a heartbeat
+// arrives (outermost first):
+//
+//	nest := &hbc.Nest{Name: "spmv", Root: &hbc.Loop{ ... }}
+//	prog, err := hbc.Compile(nest, hbc.Config{})
+//	r := team.Load(prog, env)
+//	defer r.Close()
+//	r.Run()
+//
+// See examples/ for complete programs, and DESIGN.md for how this library
+// maps onto the paper's compiler and runtime.
+package hbc
+
+import (
+	"runtime"
+	"time"
+
+	"hbc/internal/core"
+	"hbc/internal/loopnest"
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+)
+
+// Re-exported loop-nest IR types; see package loopnest for field semantics.
+type (
+	// Nest is a tree of DOALL loops with a single root.
+	Nest = loopnest.Nest
+	// Loop describes one DOALL loop: bounds, a leaf body or children, and
+	// optional per-iteration hooks and reduction.
+	Loop = loopnest.Loop
+	// Reduction declares an associative combine across a loop's iterations.
+	Reduction = loopnest.Reduction
+)
+
+// Signal selects the heartbeat delivery mechanism (paper §4–§5).
+type Signal int
+
+const (
+	// SignalPolling reads the monotonic clock at promotion-ready points —
+	// the paper's software-polling default, needing no OS support.
+	SignalPolling Signal = iota
+	// SignalEpoch polls an atomic counter bumped by a ticker goroutine:
+	// cheaper polls, one helper goroutine.
+	SignalEpoch
+	// SignalPing models TPAL's user-level interrupt ping thread.
+	SignalPing
+	// SignalKernel models the paper's Linux kernel module (hrtimer + IPI).
+	SignalKernel
+)
+
+func (s Signal) String() string {
+	switch s {
+	case SignalEpoch:
+		return "epoch"
+	case SignalPing:
+		return "ping"
+	case SignalKernel:
+		return "kernel"
+	default:
+		return "polling"
+	}
+}
+
+// newSource builds a fresh pulse source for the signal kind.
+func (s Signal) newSource() pulse.Source {
+	switch s {
+	case SignalEpoch:
+		return pulse.NewEpoch()
+	case SignalPing:
+		return pulse.NewPing()
+	case SignalKernel:
+		return pulse.NewKernel()
+	default:
+		return pulse.NewTimer()
+	}
+}
+
+// Team is a pool of workers executing heartbeat-scheduled loop nests.
+type Team struct {
+	ws        *sched.Team
+	heartbeat time.Duration
+	signal    Signal
+}
+
+// Option configures a Team.
+type Option func(*Team)
+
+// Workers sets the worker count. Defaults to runtime.NumCPU().
+func Workers(n int) Option { return func(t *Team) { t.ws = sched.NewTeam(n) } }
+
+// Heartbeat sets the heartbeat period. Defaults to 100µs, the paper's rate.
+func Heartbeat(d time.Duration) Option { return func(t *Team) { t.heartbeat = d } }
+
+// WithSignal selects the heartbeat mechanism. Defaults to SignalPolling.
+func WithSignal(s Signal) Option { return func(t *Team) { t.signal = s } }
+
+// NewTeam creates a worker team. Close must be called to release it.
+func NewTeam(opts ...Option) *Team {
+	t := &Team{heartbeat: core.DefaultHeartbeat, signal: SignalPolling}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.ws == nil {
+		t.ws = sched.NewTeam(runtime.NumCPU())
+	}
+	return t
+}
+
+// Size returns the number of workers.
+func (t *Team) Size() int { return t.ws.Size() }
+
+// Close releases the team's workers. No loops may be running.
+func (t *Team) Close() { t.ws.Close() }
+
+// PromotionPolicy selects which loop a promotion splits. See the core
+// package for the ablation semantics.
+type PromotionPolicy = core.Policy
+
+// Promotion policies: the paper's outer-loop-first default plus the two
+// ablations (Experiment 19).
+const (
+	OuterFirst = core.PolicyOuterFirst
+	InnerFirst = core.PolicyInnerFirst
+	SelfOnly   = core.PolicySelfOnly
+)
+
+// Config tunes compilation of a nest; the zero value reproduces the paper's
+// defaults (HBC mode, adaptive chunking, target 4 polls, window 8,
+// outer-loop-first promotion).
+type Config struct {
+	// TPAL switches promotions to the prior-work baseline: leftover work on
+	// the promoting worker's critical path.
+	TPAL bool
+	// Policy selects the promotion target (default outer-loop-first).
+	Policy PromotionPolicy
+	// LatchPollEvery batches interior-latch polls (default 1: the paper's
+	// poll-every-latch placement). Raising it amortizes poll cost on nests
+	// whose inner loops run only a few iterations per invocation.
+	LatchPollEvery int64
+	// StaticChunk, if > 0, disables adaptive chunking in favor of this
+	// fixed leaf chunk size.
+	StaticChunk int64
+	// NoChunking polls at every leaf iteration (ablation).
+	NoChunking bool
+	// TargetPolls and WindowSize tune Adaptive Chunking (defaults 4 and 8).
+	TargetPolls int64
+	WindowSize  int
+	// DisablePromotion compiles the full heartbeat machinery but never
+	// promotes, for overhead measurement.
+	DisablePromotion bool
+	// TraceChunks records per-invocation chunk-size samples.
+	TraceChunks bool
+	// TraceEvents records every promotion into a bounded event log readable
+	// via Runner.Events.
+	TraceEvents bool
+}
+
+func (c Config) coreOptions() core.Options {
+	o := core.Options{
+		Policy:           c.Policy,
+		LatchPollEvery:   c.LatchPollEvery,
+		TargetPolls:      c.TargetPolls,
+		WindowSize:       c.WindowSize,
+		DisablePromotion: c.DisablePromotion,
+		TraceChunks:      c.TraceChunks,
+		TraceEvents:      c.TraceEvents,
+	}
+	if c.TPAL {
+		o.Mode = core.ModeTPAL
+	}
+	switch {
+	case c.NoChunking:
+		o.Chunk = core.ChunkPolicy{Kind: core.ChunkNone}
+	case c.StaticChunk > 0:
+		o.Chunk = core.ChunkPolicy{Kind: core.ChunkStatic, Size: c.StaticChunk}
+	default:
+		o.Chunk = core.ChunkPolicy{Kind: core.ChunkAdaptive}
+	}
+	return o
+}
+
+// Program is a compiled loop nest ready to run on any Team.
+type Program struct {
+	p *core.Program
+}
+
+// Compile lowers a loop nest through the heartbeat middle-end: loop-slice
+// task generation, chunking insertion, leftover-task generation, and task
+// linking (paper §3).
+func Compile(nest *Nest, cfg Config) (*Program, error) {
+	p, err := core.Compile(nest, cfg.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
+}
+
+// MustCompile is Compile panicking on error, for statically-known nests.
+func MustCompile(nest *Nest, cfg Config) *Program {
+	p, err := Compile(nest, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RunSeq executes the nest sequentially (the serial elision), returning the
+// root reduction accumulator if any.
+func (p *Program) RunSeq(env any) any { return p.p.RunSeq(env) }
+
+// RunStatic executes the nest under static block scheduling on the team —
+// the complementary policy the paper's conclusion recommends for regular
+// workloads (§6.8): one contiguous block of the root loop per worker, no
+// polls, no promotions.
+func (p *Program) RunStatic(t *Team, env any) any { return p.p.RunStatic(t.ws, env) }
+
+// Leftovers returns the number of leftover tasks in the compiled table.
+func (p *Program) Leftovers() int { return p.p.LeftoverCount() }
+
+// Runner binds a compiled Program to a Team and an environment. Adaptive
+// chunking state persists across Run calls, so repeated invocations keep
+// adapting (the paper's Fig. 11 scenario). Close releases the heartbeat
+// source.
+type Runner struct {
+	x *core.Exec
+}
+
+// Load prepares a Program for execution on the team with the given
+// environment, starting the heartbeat source.
+func (t *Team) Load(p *Program, env any) *Runner {
+	x := core.NewExec(p.p, t.ws, t.signal.newSource(), t.heartbeat, env)
+	x.Start()
+	return &Runner{x: x}
+}
+
+// Run executes one invocation of the nest, blocking until every iteration
+// completed, and returns the root reduction accumulator (nil if none).
+func (r *Runner) Run() any { return r.x.Run() }
+
+// Close releases the heartbeat source.
+func (r *Runner) Close() { r.x.Stop() }
+
+// Stats exposes the runtime counters of this Runner.
+func (r *Runner) Stats() *core.RunStats { return r.x.Stats() }
+
+// PulseStats exposes heartbeat delivery statistics.
+func (r *Runner) PulseStats() pulse.Stats { return r.x.Pulse() }
+
+// ChunkTrace returns recorded chunk-size samples (Config.TraceChunks).
+func (r *Runner) ChunkTrace() []core.ChunkSample { return r.x.ChunkTrace() }
+
+// Chunks returns worker w's current per-leaf chunk sizes.
+func (r *Runner) Chunks(w int) []int64 { return r.x.Chunks(w) }
+
+// Events returns the recorded promotion events (Config.TraceEvents).
+func (r *Runner) Events() []core.PromotionEvent { return r.x.Events() }
+
+// PromotionEvent is one recorded promotion; see Config.TraceEvents.
+type PromotionEvent = core.PromotionEvent
+
+// FormatTimeline renders promotion events as a terminal histogram.
+var FormatTimeline = core.FormatTimeline

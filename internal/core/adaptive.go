@@ -1,0 +1,80 @@
+package core
+
+// Adaptive Chunking (AC) — the paper's §5.1 runtime.
+//
+// The chunking transformation amortizes polling cost over S iterations, but
+// the right S depends on how long an iteration takes, which for irregular
+// workloads varies with the input and over time. AC retunes S online: each
+// worker counts how many polls it makes per heartbeat interval; over a
+// sliding window of WindowSize heartbeats it takes the minimum observed
+// count m, and rescales the chunk size by m / TargetPolls (minimum 1). Too
+// many polls per heartbeat (m > target) means chunks are too fine and S
+// grows; polls arriving slower than heartbeats (m < target, heartbeats
+// being missed) means chunks are too coarse and S shrinks. Chunk sizes are
+// per worker and per leaf loop, start at 1, and persist across invocations
+// of the same program — the repeated-invocation adaptation of Fig. 11.
+
+// acWorker is one worker's Adaptive Chunking state. Workers never share
+// these (each slot is written only by its owning worker), so no atomics are
+// needed; the padding keeps slots on separate cache lines.
+type acWorker struct {
+	// polls counts polling-function invocations since the last detected
+	// heartbeat (the paper's per-worker poll counter).
+	polls int64
+	// window logs the poll count of each heartbeat interval in the current
+	// window.
+	window []int64
+	wfill  int
+	// chunk is the current chunk size per leaf ordinal.
+	chunk []int64
+	_     [64]byte
+}
+
+func (a *acWorker) init(p *Program, o Options) {
+	a.window = make([]int64, o.WindowSize)
+	a.wfill = 0
+	a.polls = 0
+	a.chunk = make([]int64, len(p.leaves))
+	for i := range a.chunk {
+		a.chunk[i] = 1 // the paper's initial chunk size
+	}
+}
+
+// onHeartbeat logs the interval's poll count and, at the end of each
+// window, rescales the chunk size of the leaf whose poll detected the beat.
+// ord is -1 when the detecting poll sat at an interior latch, in which case
+// only the window advances.
+func (a *acWorker) onHeartbeat(ord int, o Options) {
+	a.window[a.wfill] = a.polls
+	a.polls = 0
+	a.wfill++
+	if a.wfill < len(a.window) {
+		return
+	}
+	a.wfill = 0
+	m := a.window[0]
+	for _, v := range a.window[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	if ord < 0 || o.Chunk.Kind != ChunkAdaptive {
+		return
+	}
+	s := a.chunk[ord] * m / o.TargetPolls
+	if s < 1 {
+		s = 1
+	}
+	if s > o.MaxChunk {
+		s = o.MaxChunk
+	}
+	a.chunk[ord] = s
+}
+
+// Chunks returns worker w's current chunk size for each leaf, for
+// observation by experiments.
+func (x *Exec) Chunks(w int) []int64 {
+	out := make([]int64, len(x.ac[w].chunk))
+	copy(out, x.ac[w].chunk)
+	return out
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Promotion event tracing: an optional structured log of every promotion,
+// for debugging schedules and for the trace-analysis tooling. Enabled by
+// Options.TraceEvents; events are kept in a bounded in-memory log.
+
+// PromotionEvent records one promotion: which loop received the heartbeat,
+// which loop was split under the policy, and how its remaining iterations
+// were divided.
+type PromotionEvent struct {
+	// When is the time since the Exec was created.
+	When time.Duration
+	// Worker is the promoting worker's ID.
+	Worker int
+	// At is the loop that received the heartbeat (Li).
+	At LoopID
+	// Split is the loop whose iterations were divided (Lj).
+	Split LoopID
+	// Lo, Mid, Hi describe the split: slice tasks take [Lo, Mid) and
+	// [Mid, Hi).
+	Lo, Mid, Hi int64
+	// Leftover reports whether a leftover task was forked (ancestor split).
+	Leftover bool
+}
+
+// String renders one event compactly.
+func (e PromotionEvent) String() string {
+	kind := "self"
+	if e.Leftover {
+		kind = "leftover"
+	}
+	return fmt.Sprintf("%9v w%d at%v split%v [%d,%d|%d) %s",
+		e.When.Round(time.Microsecond), e.Worker, e.At, e.Split, e.Lo, e.Mid, e.Hi, kind)
+}
+
+// eventLog is the bounded promotion log.
+type eventLog struct {
+	mu     sync.Mutex
+	events []PromotionEvent
+	limit  int
+	start  time.Time
+}
+
+// maxTraceEvents bounds the event log so long runs cannot exhaust memory.
+const maxTraceEvents = 1 << 16
+
+func (l *eventLog) add(e PromotionEvent) {
+	l.mu.Lock()
+	if len(l.events) < l.limit {
+		l.events = append(l.events, e)
+	}
+	l.mu.Unlock()
+}
+
+// Events returns the promotion events recorded so far (Options.TraceEvents
+// only), in arrival order, capped at an internal limit.
+func (x *Exec) Events() []PromotionEvent {
+	if x.events == nil {
+		return nil
+	}
+	x.events.mu.Lock()
+	defer x.events.mu.Unlock()
+	out := make([]PromotionEvent, len(x.events.events))
+	copy(out, x.events.events)
+	return out
+}
+
+// recordPromotion appends an event when tracing is on.
+func (x *Exec) recordPromotion(w int, li, lj *cloop, lo, mid, hi int64, leftover bool) {
+	if x.events == nil {
+		return
+	}
+	x.events.add(PromotionEvent{
+		When:     time.Since(x.events.start),
+		Worker:   w,
+		At:       li.id,
+		Split:    lj.id,
+		Lo:       lo,
+		Mid:      mid,
+		Hi:       hi,
+		Leftover: leftover,
+	})
+}
+
+// FormatTimeline renders promotion events as a per-interval histogram plus
+// the first few raw events — a quick schedule picture for a terminal.
+func FormatTimeline(events []PromotionEvent, bin time.Duration) string {
+	var sb strings.Builder
+	if len(events) == 0 {
+		return "(no promotions recorded)\n"
+	}
+	if bin <= 0 {
+		bin = time.Millisecond
+	}
+	last := events[len(events)-1].When
+	bins := int(last/bin) + 1
+	counts := make([]int, bins)
+	leftovers := make([]int, bins)
+	for _, e := range events {
+		b := int(e.When / bin)
+		counts[b]++
+		if e.Leftover {
+			leftovers[b]++
+		}
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	fmt.Fprintf(&sb, "promotions over time (%v bins, %d events):\n", bin, len(events))
+	for b, c := range counts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("█", c*40/maxCount)
+		}
+		fmt.Fprintf(&sb, "%8v |%s %d (%d leftover)\n",
+			(time.Duration(b) * bin).Round(time.Microsecond), bar, c, leftovers[b])
+	}
+	n := len(events)
+	if n > 8 {
+		n = 8
+	}
+	sb.WriteString("first events:\n")
+	for _, e := range events[:n] {
+		sb.WriteString("  " + e.String() + "\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,608 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+)
+
+// lst is a Loop-Slice Task context (§3.2): the per-invocation state of one
+// loop — its closure is the shared environment plus the indices of the
+// enclosing loops (held in the chain entries above), its iteration space
+// [lo, hi), its induction variable iv, and its reduction accumulator. A
+// task's chain of LST contexts, outermost first, is what the promotion
+// handler reads to seed new tasks, exactly as the paper passes the set of
+// LST contexts down to every nested loop.
+type lst struct {
+	loop *cloop
+	lo   int64
+	hi   int64
+	// iv is the induction variable. For the loop currently at a
+	// promotion-ready point it is the next unstarted iteration; for
+	// ancestors it is the in-flight iteration.
+	iv int64
+	// childPos is the index of the child invocation currently executing
+	// within iteration iv (interior loops).
+	childPos int
+	// acc is this loop's reduction accumulator for the invocation, nil if
+	// the loop has no Reduce.
+	acc any
+}
+
+// remaining returns the iterations not owned by any other task: everything
+// from the next unstarted iteration on.
+func remainingOf(e *lst, current bool) int64 {
+	if current {
+		// The loop at the poll site: iv itself is unstarted.
+		return e.hi - e.iv
+	}
+	// An ancestor mid-iteration: iv is in flight.
+	return e.hi - e.iv - 1
+}
+
+// Exec runs a compiled Program under heartbeat scheduling. Create one with
+// NewExec, call Start, any number of Run invocations, then Stop. Adaptive
+// Chunking state persists across Run calls (the repeated-invocation
+// scenario of Fig. 11).
+type Exec struct {
+	prog   *Program
+	team   *sched.Team
+	src    pulse.Source
+	env    any
+	period time.Duration
+
+	ac      []acWorker
+	stats   RunStats
+	started bool
+	// manage records whether this Exec owns the source's Attach/Detach
+	// lifecycle (false when several Execs share one attached source).
+	manage bool
+
+	traceMu sync.Mutex
+	trace   []ChunkSample
+	// events is the promotion log, nil unless Options.TraceEvents.
+	events *eventLog
+}
+
+// ChunkSample is one Fig.-12 trace point: the chunk size in force when a
+// leaf-loop invocation began.
+type ChunkSample struct {
+	Leaf  int   // leaf ordinal
+	Outer int64 // outermost enclosing index (e.g. the spmv row)
+	Chunk int64
+}
+
+// NewExec prepares a run of prog on team, polling src at the given
+// heartbeat period, with the shared environment env.
+func NewExec(prog *Program, team *sched.Team, src pulse.Source, period time.Duration, env any) *Exec {
+	if period <= 0 {
+		period = DefaultHeartbeat
+	}
+	x := &Exec{prog: prog, team: team, src: src, env: env, period: period, manage: true}
+	if prog.opts.TraceEvents {
+		x.events = &eventLog{limit: maxTraceEvents, start: time.Now()}
+	}
+	x.stats.PromotionsByLevel = make([]int64, prog.depth)
+	x.ac = make([]acWorker, team.Size())
+	for i := range x.ac {
+		x.ac[i].init(prog, x.prog.opts)
+	}
+	return x
+}
+
+// NewExecShared is NewExec for a source whose Attach/Detach lifecycle the
+// caller manages — used when several programs of one workload share a single
+// heartbeat source. The source must already be attached for the same team
+// size and period.
+func NewExecShared(prog *Program, team *sched.Team, src pulse.Source, period time.Duration, env any) *Exec {
+	x := NewExec(prog, team, src, period, env)
+	x.manage = false
+	x.started = true
+	return x
+}
+
+// Env returns the environment the Exec was created with.
+func (x *Exec) Env() any { return x.env }
+
+// Start attaches the heartbeat source. Must precede the first Run. A no-op
+// for shared-source Execs.
+func (x *Exec) Start() {
+	if x.started {
+		return
+	}
+	x.src.Attach(x.team.Size(), x.period)
+	x.started = true
+}
+
+// Stop detaches the heartbeat source. A no-op for shared-source Execs.
+func (x *Exec) Stop() {
+	if !x.started || !x.manage {
+		return
+	}
+	x.src.Detach()
+	x.started = false
+}
+
+// Run executes one invocation of the loop nest and returns the root loop's
+// reduction accumulator (nil if the root has no Reduce). It blocks until
+// every iteration — including all promoted tasks — has completed.
+func (x *Exec) Run() any {
+	if !x.started {
+		panic("core: Exec.Run before Start")
+	}
+	var result any
+	x.team.Run(func(w *sched.Worker) {
+		ts := newTaskRun(x, w)
+		root := x.prog.loops[0]
+		ts.setupInvocation(root, nil)
+		if pl := ts.runLoop(root); pl != noPromo {
+			panic("core: promotion escaped the root loop")
+		}
+		result = ts.chain[0].acc
+	})
+	return result
+}
+
+// Stats returns the accumulated runtime statistics.
+func (x *Exec) Stats() *RunStats { return &x.stats }
+
+// Pulse returns the heartbeat source's delivery statistics.
+func (x *Exec) Pulse() pulse.Stats { return x.src.Stats() }
+
+// ChunkTrace returns the Fig.-12 samples recorded so far (TraceChunks only).
+func (x *Exec) ChunkTrace() []ChunkSample {
+	x.traceMu.Lock()
+	defer x.traceMu.Unlock()
+	out := make([]ChunkSample, len(x.trace))
+	copy(out, x.trace)
+	return out
+}
+
+const noPromo = -1
+
+// taskRun is the execution state of one task: a chain of LST contexts, the
+// scratch index vector handed to user callbacks, the per-leaf chunk budgets
+// (the paper's private counter R, which transfers across leaf invocations),
+// and per-loop scratch accumulators.
+type taskRun struct {
+	x *Exec
+	w *sched.Worker
+
+	chain []lst
+	idx   []int64
+	// budget is the paper's R: iterations left before the next
+	// promotion-ready point, one per leaf loop, carried across leaf-loop
+	// invocations within the task (chunk-size transferring, §3.2).
+	budget []int64
+	// latchBudget counts down interior-latch visits until the next poll
+	// (Options.LatchPollEvery batching).
+	latchBudget int64
+	// accPool holds a reusable accumulator per loop ordinal, so reductions
+	// do not allocate per iteration. Entries are surrendered (nil'd) when a
+	// promotion hands them to a leftover task.
+	accPool []any
+	// childAccs[level] collects the child accumulators of the iteration in
+	// flight at that level, for the Post hook.
+	childAccs [][]any
+}
+
+func newTaskRun(x *Exec, w *sched.Worker) *taskRun {
+	p := x.prog
+	ts := &taskRun{
+		x:         x,
+		w:         w,
+		chain:     make([]lst, p.depth),
+		idx:       make([]int64, p.depth),
+		budget:    make([]int64, len(p.leaves)),
+		accPool:   make([]any, len(p.loops)),
+		childAccs: make([][]any, p.depth),
+	}
+	ts.latchBudget = p.opts.LatchPollEvery
+	return ts
+}
+
+// snapshot captures the state a forked task needs: the LST chain, the
+// partially-filled child accumulators, and the chunk budgets.
+type snapshot struct {
+	chain     []lst
+	childAccs [][]any
+	budget    []int64
+}
+
+func (ts *taskRun) snapshot() *snapshot {
+	s := &snapshot{
+		chain:     make([]lst, len(ts.chain)),
+		childAccs: make([][]any, len(ts.childAccs)),
+		budget:    make([]int64, len(ts.budget)),
+	}
+	copy(s.chain, ts.chain)
+	copy(s.budget, ts.budget)
+	for i, ca := range ts.childAccs {
+		if ca != nil {
+			s.childAccs[i] = append([]any(nil), ca...)
+		}
+	}
+	return s
+}
+
+// adopt installs a snapshot into a fresh taskRun.
+func (ts *taskRun) adopt(s *snapshot) {
+	copy(ts.chain, s.chain)
+	copy(ts.budget, s.budget)
+	for i, ca := range s.childAccs {
+		if ca != nil {
+			ts.childAccs[i] = ca
+		}
+	}
+	for lvl := range ts.chain {
+		ts.idx[lvl] = ts.chain[lvl].iv
+	}
+}
+
+// accVisible resolves the accumulator a body or hook under loop l writes:
+// the accumulator of l's nearest reducing scope, found in the live chain.
+func (ts *taskRun) accVisible(l *cloop) any {
+	if l.scope == nil {
+		return nil
+	}
+	return ts.chain[l.scope.id.Level].acc
+}
+
+// accForLoop returns a reset accumulator for a new invocation of loop l,
+// reusing the task's scratch when available.
+func (ts *taskRun) accForLoop(l *cloop) any {
+	r := l.spec.Reduce
+	if r == nil {
+		return nil
+	}
+	if a := ts.accPool[l.ord]; a != nil && r.Reset != nil {
+		r.Reset(a)
+		return a
+	}
+	a := r.Fresh()
+	ts.accPool[l.ord] = a
+	return a
+}
+
+// surrenderBelow gives up ownership of every scratch accumulator of loops
+// deeper than level, because a leftover task now holds references to them.
+// HBC mode only: TPAL's leftover runs synchronously on this worker, which
+// is exactly its "incomplete closure" design (§6.3).
+func (ts *taskRun) surrenderBelow(level int) {
+	for _, l := range ts.x.prog.loops {
+		if l.id.Level > level {
+			ts.accPool[l.ord] = nil
+		}
+	}
+	for lvl := level; lvl < len(ts.childAccs); lvl++ {
+		ts.childAccs[lvl] = nil
+	}
+}
+
+// setupInvocation initializes the chain entry for a new invocation of loop
+// l, computing its bounds from the enclosing indices.
+func (ts *taskRun) setupInvocation(l *cloop, _ *lst) {
+	lo, hi := l.spec.Bounds(ts.x.env, ts.idx[:l.id.Level])
+	e := &ts.chain[l.id.Level]
+	e.loop = l
+	e.lo, e.iv, e.hi = lo, lo, hi
+	e.childPos = 0
+	e.acc = ts.accForLoop(l)
+}
+
+// childAccsFor returns the per-iteration child accumulator slice for
+// interior loop l, allocating it on first use.
+func (ts *taskRun) childAccsFor(l *cloop) []any {
+	ca := ts.childAccs[l.id.Level]
+	if len(ca) < len(l.children) {
+		grown := make([]any, len(l.children))
+		copy(grown, ca)
+		ca = grown
+		ts.childAccs[l.id.Level] = ca
+	}
+	return ca
+}
+
+// runLoop drives the invocation of loop l described by chain[l.level],
+// executing iterations iv..hi. It returns noPromo when the invocation is
+// complete (all iterations accounted for, possibly via promotion), or the
+// level of an outer loop that a promotion split, which the drivers unwind
+// to. Invariant: the returned level is strictly above l.
+func (ts *taskRun) runLoop(l *cloop) int {
+	if l.leaf() {
+		return ts.runLeaf(l)
+	}
+	e := &ts.chain[l.id.Level]
+	lvl := l.id.Level
+	env := ts.x.env
+	for e.iv < e.hi {
+		ts.idx[lvl] = e.iv
+		if l.spec.Pre != nil {
+			l.spec.Pre(env, ts.idx[:lvl+1], ts.accVisible(l))
+		}
+		if pl := ts.runChildren(l, 0); pl != noPromo {
+			if pl < lvl {
+				return pl
+			}
+			// pl == lvl: this loop was split; its remaining iterations and
+			// the tail of the in-flight one now belong to the promoted
+			// tasks, and the handler already joined them.
+			return noPromo
+		}
+		if l.spec.Post != nil {
+			l.spec.Post(env, ts.idx[:lvl+1], ts.accVisible(l), ts.childAccs[lvl])
+		}
+		e.iv++
+		// The latch promotion-ready point of an interior DOALL loop (§3.2),
+		// optionally batched (Options.LatchPollEvery).
+		if ts.latchBudget--; ts.latchBudget <= 0 {
+			ts.latchBudget = ts.x.prog.opts.LatchPollEvery
+			if ts.poll(-1) {
+				if pl := ts.x.promote(ts, l); pl != noPromo {
+					if pl < lvl {
+						return pl
+					}
+					return noPromo
+				}
+			}
+		}
+	}
+	return noPromo
+}
+
+// runChildren executes the child invocations of l's current iteration
+// starting at child index from, saving each child's accumulator for the
+// Post hook.
+func (ts *taskRun) runChildren(l *cloop, from int) int {
+	e := &ts.chain[l.id.Level]
+	ca := ts.childAccsFor(l)
+	for ci := from; ci < len(l.children); ci++ {
+		e.childPos = ci
+		c := l.children[ci]
+		ts.setupInvocation(c, e)
+		if pl := ts.runLoop(c); pl != noPromo {
+			return pl
+		}
+		ca[ci] = ts.chain[c.id.Level].acc
+	}
+	return noPromo
+}
+
+// tailOf completes the tail work of loop l's in-flight iteration: the child
+// invocations after the one control returned from, then the Post hook. This
+// is the paper's TailWork (Algorithm 2).
+func (ts *taskRun) tailOf(l *cloop) int {
+	e := &ts.chain[l.id.Level]
+	lvl := l.id.Level
+	ts.idx[lvl] = e.iv
+	// The in-flight child's accumulator was never saved by runChildren (the
+	// promotion interrupted it); it still lives in the chain entry the
+	// snapshot carried.
+	ca := ts.childAccsFor(l)
+	inFlight := l.children[e.childPos]
+	ca[e.childPos] = ts.chain[inFlight.id.Level].acc
+	if pl := ts.runChildren(l, e.childPos+1); pl != noPromo {
+		return pl
+	}
+	if l.spec.Post != nil {
+		l.spec.Post(ts.x.env, ts.idx[:lvl+1], ts.accVisible(l), ts.childAccs[lvl])
+	}
+	return noPromo
+}
+
+// runLeaf drives a leaf-loop invocation through the chunking transformation
+// (§3.2): execute min(R, left) iterations, and when the private budget R
+// reaches zero — a full chunk completed — hit the promotion-ready point.
+// A partially finished chunk carries its residue into the task's next
+// invocation of the same leaf (chunk-size transferring).
+func (ts *taskRun) runLeaf(l *cloop) int {
+	e := &ts.chain[l.id.Level]
+	lvl := l.id.Level
+	ord := l.leafOrd
+	env := ts.x.env
+	acc := ts.accVisible(l)
+	idx := ts.idx[:lvl]
+	if ts.x.prog.opts.TraceChunks {
+		ts.x.recordChunk(ord, ts.outermostIdx(), ts.chunkFor(ord))
+	}
+	for e.iv < e.hi {
+		r := ts.budget[ord]
+		if r <= 0 {
+			r = ts.chunkFor(ord)
+			ts.budget[ord] = r
+		}
+		n := r
+		if left := e.hi - e.iv; left < n {
+			n = left
+		}
+		l.spec.Body(env, idx, e.iv, e.iv+n, acc)
+		e.iv += n
+		r -= n
+		ts.budget[ord] = r
+		if r == 0 {
+			// Chunk complete: reinitialize R and poll (§3.2).
+			ts.budget[ord] = ts.chunkFor(ord)
+			if ts.poll(ord) {
+				if pl := ts.x.promote(ts, l); pl != noPromo {
+					if pl < lvl {
+						return pl
+					}
+					return noPromo
+				}
+			}
+		}
+	}
+	return noPromo
+}
+
+// outermostIdx returns the root-level index for chunk traces.
+func (ts *taskRun) outermostIdx() int64 {
+	if len(ts.idx) == 0 {
+		return 0
+	}
+	return ts.idx[0]
+}
+
+// poll checks the heartbeat source and feeds Adaptive Chunking. ord is the
+// polling leaf's ordinal, or -1 at interior latches.
+func (ts *taskRun) poll(ord int) bool {
+	k := ts.x.src.Poll(ts.w.ID())
+	a := &ts.x.ac[ts.w.ID()]
+	a.polls++
+	if k == 0 {
+		return false
+	}
+	a.onHeartbeat(ord, ts.x.prog.opts)
+	return true
+}
+
+// chunkFor returns the chunk size for a leaf under the compiled policy.
+func (ts *taskRun) chunkFor(ord int) int64 {
+	return ts.x.chunkFor(ts.w.ID(), ord)
+}
+
+func (x *Exec) chunkFor(worker, ord int) int64 {
+	switch x.prog.opts.Chunk.Kind {
+	case ChunkStatic:
+		return x.prog.staticChunk[ord]
+	case ChunkNone:
+		return 1
+	default:
+		return x.ac[worker].chunk[ord]
+	}
+}
+
+func (x *Exec) recordChunk(ord int, outer, chunk int64) {
+	x.traceMu.Lock()
+	x.trace = append(x.trace, ChunkSample{Leaf: ord, Outer: outer, Chunk: chunk})
+	x.traceMu.Unlock()
+}
+
+// seqState is the per-strand state of the sequential driver, used by the
+// serial elision (RunSeq) and, one instance per block, by the static
+// scheduler (RunStatic).
+type seqState struct {
+	p      *Program
+	env    any
+	idx    []int64
+	scopes []any // accumulator per level of reducing loops
+	accs   [][]any
+}
+
+func (p *Program) newSeqState(env any) *seqState {
+	s := &seqState{
+		p:      p,
+		env:    env,
+		idx:    make([]int64, p.depth),
+		scopes: make([]any, p.depth),
+		accs:   make([][]any, p.depth),
+	}
+	return s
+}
+
+func (s *seqState) visible(l *cloop) any {
+	if l.scope == nil {
+		return nil
+	}
+	return s.scopes[l.scope.id.Level]
+}
+
+// run executes one full invocation of l over its own bounds.
+func (s *seqState) run(l *cloop) any {
+	lvl := l.id.Level
+	lo, hi := l.spec.Bounds(s.env, s.idx[:lvl])
+	return s.runRange(l, lo, hi)
+}
+
+// runRange executes iterations [lo, hi) of loop l.
+func (s *seqState) runRange(l *cloop, lo, hi int64) any {
+	lvl := l.id.Level
+	var acc any
+	if l.spec.Reduce != nil {
+		acc = l.spec.Reduce.Fresh()
+		s.scopes[lvl] = acc
+	}
+	if l.leaf() {
+		if hi > lo {
+			l.spec.Body(s.env, s.idx[:lvl], lo, hi, s.visible(l))
+		}
+		return acc
+	}
+	ca := s.accs[lvl]
+	if len(ca) < len(l.children) {
+		ca = make([]any, len(l.children))
+		s.accs[lvl] = ca
+	}
+	for i := lo; i < hi; i++ {
+		s.idx[lvl] = i
+		if l.spec.Pre != nil {
+			l.spec.Pre(s.env, s.idx[:lvl+1], s.visible(l))
+		}
+		for ci, c := range l.children {
+			ca[ci] = s.run(c)
+		}
+		if l.spec.Post != nil {
+			l.spec.Post(s.env, s.idx[:lvl+1], s.visible(l), ca)
+		}
+	}
+	return acc
+}
+
+// RunSeq executes the nest sequentially with none of the heartbeat
+// machinery — the serial elision. It serves as a correctness oracle for the
+// parallel executor; the overhead experiments use handwritten serial kernels
+// as their baseline instead, since RunSeq already pays the closure-call
+// costs the experiments isolate.
+func (p *Program) RunSeq(env any) any {
+	return p.newSeqState(env).run(p.loops[0])
+}
+
+// RunStatic executes the nest under static scheduling: the root loop's
+// iteration space is split into one contiguous block per worker, each block
+// running the poll-free sequential driver, with per-block reduction
+// accumulators merged at the barrier. This is the complementary scheduler
+// the paper's conclusion calls for (§6.8): static for regular workloads,
+// heartbeat for irregular ones — an ideal compiler ships both. Nested
+// parallelism inside blocks is not activated (as with OpenMP static on the
+// outermost loop).
+func (p *Program) RunStatic(team *sched.Team, env any) any {
+	root := p.loops[0]
+	lo, hi := root.spec.Bounds(env, nil)
+	n := int64(team.Size())
+	if total := hi - lo; total < n {
+		n = total
+	}
+	if n <= 1 {
+		return p.RunSeq(env)
+	}
+	accs := make([]any, n)
+	per := (hi - lo + n - 1) / n
+	var result any
+	team.Run(func(w *sched.Worker) {
+		latch := sched.NewLatch(1)
+		for b := int64(0); b < n; b++ {
+			blo := lo + b*per
+			bhi := blo + per
+			if bhi > hi {
+				bhi = hi
+			}
+			b := b
+			w.Spawn(latch, func(_ *sched.Worker) {
+				accs[b] = p.newSeqState(env).runRange(root, blo, bhi)
+			})
+		}
+		latch.Done()
+		w.HelpUntil(latch)
+		if root.spec.Reduce != nil {
+			result = accs[0]
+			for _, a := range accs[1:] {
+				if a != nil {
+					root.spec.Reduce.Merge(result, a)
+				}
+			}
+		}
+	})
+	return result
+}

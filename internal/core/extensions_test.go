@@ -1,0 +1,298 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+)
+
+// --- promotion policies ---------------------------------------------------
+
+func TestPoliciesAllCorrect(t *testing.T) {
+	for _, pol := range []Policy{PolicyOuterFirst, PolicyInnerFirst, PolicySelfOnly} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			env := newCSR(90)
+			p := MustCompile(csrNest(), Options{
+				Policy: pol,
+				Chunk:  ChunkPolicy{Kind: ChunkStatic, Size: 2},
+			})
+			runWith(t, p, pulse.NewEveryN(3), 3, env)
+			int64sEqual(t, env.out, env.serial(), "policy "+pol.String())
+		})
+	}
+}
+
+func TestPolicyLevelDistributions(t *testing.T) {
+	run := func(pol Policy) []int64 {
+		env := newCSR(400)
+		p := MustCompile(csrNest(), Options{
+			Policy: pol,
+			Chunk:  ChunkPolicy{Kind: ChunkStatic, Size: 1},
+		})
+		team := sched.NewTeam(2)
+		defer team.Close()
+		x := NewExec(p, team, pulse.NewEveryN(4), DefaultHeartbeat, env)
+		x.Start()
+		defer x.Stop()
+		x.Run()
+		int64sEqual(t, env.out, env.serial(), "dist "+pol.String())
+		return x.Stats().ByLevel()
+	}
+	outer := run(PolicyOuterFirst)
+	selfOnly := run(PolicySelfOnly)
+	// Outer-first should put the bulk of promotions at level 0; self-only
+	// can never split an ancestor from a leaf poll... level 0 splits happen
+	// only when the row loop itself polls at its latch. The inner (col)
+	// loop splits dominate under self-only.
+	if outer[0] == 0 {
+		t.Fatalf("outer-first produced no level-0 promotions: %v", outer)
+	}
+	if selfOnly[1] == 0 {
+		t.Fatalf("self-only produced no level-1 promotions: %v", selfOnly)
+	}
+	if float64(selfOnly[1])/float64(selfOnly[0]+selfOnly[1]+1) <
+		float64(outer[1])/float64(outer[0]+outer[1]+1) {
+		t.Fatalf("self-only (%v) should skew deeper than outer-first (%v)", selfOnly, outer)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyOuterFirst.String() != "outer-first" ||
+		PolicyInnerFirst.String() != "inner-first" ||
+		PolicySelfOnly.String() != "self-only" {
+		t.Fatal("bad policy names")
+	}
+}
+
+// --- static scheduler --------------------------------------------------------
+
+func TestRunStaticMatchesOracle(t *testing.T) {
+	env := newCSR(123)
+	p := MustCompile(csrNest(), Options{})
+	team := sched.NewTeam(4)
+	defer team.Close()
+	p.RunStatic(team, env)
+	int64sEqual(t, env.out, env.serial(), "static spmv")
+}
+
+func TestRunStaticReduction(t *testing.T) {
+	data := make([]int64, 10001) // not divisible by the team size
+	var want int64
+	for i := range data {
+		data[i] = int64(i % 7)
+		want += data[i]
+	}
+	p := MustCompile(sumNest("static-sum"), Options{})
+	team := sched.NewTeam(3)
+	defer team.Close()
+	acc := p.RunStatic(team, &sumEnv{data: data})
+	if got := *acc.(*int64); got != want {
+		t.Fatalf("static sum = %d, want %d", got, want)
+	}
+}
+
+func TestRunStaticDegeneratesToSeq(t *testing.T) {
+	// Fewer iterations than workers: single-block fallback.
+	env := newCSR(1)
+	p := MustCompile(csrNest(), Options{})
+	team := sched.NewTeam(8)
+	defer team.Close()
+	p.RunStatic(team, env)
+	int64sEqual(t, env.out, env.serial(), "static tiny")
+}
+
+func TestRunStaticThreeLevel(t *testing.T) {
+	p := MustCompile(threeNest(), Options{})
+	team := sched.NewTeam(3)
+	defer team.Close()
+	acc := p.RunStatic(team, &threeEnv{n: 11})
+	if got := *acc.(*int64); got != threeSerial(11) {
+		t.Fatalf("static three = %d, want %d", got, threeSerial(11))
+	}
+}
+
+// --- panic propagation ---------------------------------------------------------
+
+func TestBodyPanicSurfacesAtRun(t *testing.T) {
+	nest := sumNest("panicky")
+	nest.Root.Body = func(_ any, _ []int64, lo, hi int64, _ any) {
+		panic("kernel exploded")
+	}
+	p := MustCompile(nest, Options{})
+	team := sched.NewTeam(2)
+	defer team.Close()
+	x := NewExec(p, team, pulse.NewNever(), DefaultHeartbeat, &sumEnv{data: make([]int64, 10)})
+	x.Start()
+	defer x.Stop()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic did not propagate to Run caller")
+		}
+		if !strings.Contains(toString(v), "kernel exploded") {
+			t.Fatalf("unexpected panic value %v", v)
+		}
+	}()
+	x.Run()
+}
+
+func TestPanicInPromotedTaskSurfaces(t *testing.T) {
+	// The panic fires in a forked slice task; it must travel through the
+	// promotion join back to the root caller.
+	count := 0
+	nest := sumNest("panicky2")
+	nest.Root.Body = func(_ any, _ []int64, lo, hi int64, acc any) {
+		count++
+		if lo > 400 {
+			panic("late failure")
+		}
+	}
+	p := MustCompile(nest, Options{Chunk: ChunkPolicy{Kind: ChunkStatic, Size: 16}})
+	team := sched.NewTeam(2)
+	defer team.Close()
+	x := NewExec(p, team, pulse.NewAlways(), DefaultHeartbeat, &sumEnv{data: make([]int64, 1000)})
+	x.Start()
+	defer x.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("promoted-task panic did not propagate")
+		}
+	}()
+	x.Run()
+}
+
+func toString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+// --- latch-poll batching --------------------------------------------------
+
+func TestLatchPollEveryCorrectAndCheaper(t *testing.T) {
+	countPolls := func(k int64) int64 {
+		env := newCSR(500)
+		p := MustCompile(csrNest(), Options{
+			LatchPollEvery: k,
+			Chunk:          ChunkPolicy{Kind: ChunkStatic, Size: 64},
+		})
+		src := pulse.NewNever()
+		runWith(t, p, src, 1, env)
+		int64sEqual(t, env.out, env.serial(), "latch batching")
+		return src.Stats().Polls
+	}
+	p1 := countPolls(1)
+	p8 := countPolls(8)
+	if p8 >= p1 {
+		t.Fatalf("batched polls (%d) not fewer than unbatched (%d)", p8, p1)
+	}
+	// Leaf polls are identical; only latch polls shrink, by ~8x.
+	if p8 > p1/2 {
+		t.Fatalf("batching too weak: %d vs %d", p8, p1)
+	}
+}
+
+func TestLatchPollEveryUnderPromotion(t *testing.T) {
+	env := newCSR(200)
+	p := MustCompile(csrNest(), Options{
+		LatchPollEvery: 4,
+		Chunk:          ChunkPolicy{Kind: ChunkStatic, Size: 2},
+	})
+	runWith(t, p, pulse.NewEveryN(3), 3, env)
+	int64sEqual(t, env.out, env.serial(), "latch batching promoted")
+}
+
+// --- per-leaf static chunks --------------------------------------------------
+
+func TestPerLeafStaticChunks(t *testing.T) {
+	// Two sibling leaves ("a" spans 8, "b" spans 5 per iteration): give "a"
+	// chunk 4 and "b" chunk 5 and count polls with a Never source. For 40
+	// outer iterations: a polls 40*8/4 = 80 times, b polls 40*5/5 = 40
+	// times, plus 40 latch polls = 160 total.
+	env := &siblingEnv{n: 40, outA: make([]int64, 40), outB: make([]int64, 40)}
+	p := MustCompile(siblingNest(), Options{
+		Chunk: ChunkPolicy{
+			Kind: ChunkStatic,
+			Size: 4,
+			PerLeaf: map[string]int64{
+				"b": 5,
+			},
+		},
+	})
+	src := pulse.NewNever()
+	runWith(t, p, src, 1, env)
+	wa, wb := env.serial()
+	int64sEqual(t, env.outA, wa, "perleaf outA")
+	int64sEqual(t, env.outB, wb, "perleaf outB")
+	if got := src.Stats().Polls; got != 160 {
+		t.Fatalf("polls = %d, want 160 (80 leaf-a + 40 leaf-b + 40 latch)", got)
+	}
+}
+
+// --- promotion event trace -----------------------------------------------
+
+func TestPromotionEventsRecorded(t *testing.T) {
+	env := newCSR(200)
+	p := MustCompile(csrNest(), Options{
+		TraceEvents: true,
+		Chunk:       ChunkPolicy{Kind: ChunkStatic, Size: 2},
+	})
+	team := sched.NewTeam(2)
+	defer team.Close()
+	x := NewExec(p, team, pulse.NewEveryN(4), DefaultHeartbeat, env)
+	x.Start()
+	defer x.Stop()
+	x.Run()
+	int64sEqual(t, env.out, env.serial(), "traced spmv")
+	evs := x.Events()
+	if int64(len(evs)) != x.Stats().Promotions() {
+		t.Fatalf("events = %d, promotions = %d", len(evs), x.Stats().Promotions())
+	}
+	sawLeftover := false
+	for _, e := range evs {
+		if e.Mid < e.Lo || e.Hi < e.Mid {
+			t.Fatalf("bad split ranges in %v", e)
+		}
+		if e.Leftover {
+			sawLeftover = true
+			if e.Split.Level >= e.At.Level {
+				t.Fatalf("leftover event with non-ancestor split: %v", e)
+			}
+		} else if e.Split != e.At {
+			t.Fatalf("self split with differing loops: %v", e)
+		}
+	}
+	if !sawLeftover {
+		t.Fatal("expected at least one leftover promotion")
+	}
+	// The timeline renders without error and mentions the event count.
+	out := FormatTimeline(evs, time.Millisecond)
+	if !strings.Contains(out, "events") {
+		t.Fatalf("timeline missing summary:\n%s", out)
+	}
+}
+
+func TestPromotionEventsOffByDefault(t *testing.T) {
+	env := newCSR(50)
+	p := MustCompile(csrNest(), Options{})
+	team := sched.NewTeam(1)
+	defer team.Close()
+	x := NewExec(p, team, pulse.NewAlways(), DefaultHeartbeat, env)
+	x.Start()
+	defer x.Stop()
+	x.Run()
+	if evs := x.Events(); evs != nil {
+		t.Fatalf("events recorded without TraceEvents: %d", len(evs))
+	}
+}
+
+func TestFormatTimelineEmpty(t *testing.T) {
+	if out := FormatTimeline(nil, 0); !strings.Contains(out, "no promotions") {
+		t.Fatalf("empty timeline: %q", out)
+	}
+}

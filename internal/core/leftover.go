@@ -1,0 +1,91 @@
+package core
+
+// Leftover task generation — the paper's §3.3, Algorithms 1 and 2.
+//
+// When a heartbeat received in loop Li promotes an ancestor loop Lj, the
+// promotion produces three tasks: two loop-slice tasks over the halves of
+// Lj's remaining iterations, and one *leftover task* that completes the
+// suspended middle — the rest of Li's current invocation, then, walking up
+// the ancestor chain, the tail work of each intermediate loop's in-flight
+// iteration followed by that loop's own remaining iterations, ending with
+// the tail work of Lj's in-flight iteration.
+//
+// Algorithm 1 in the paper enumerates (leaf, ancestor) pairs; we generate a
+// task for every (loop, proper ancestor) pair because promotion-ready
+// points sit at the latch of *every* DOALL loop (§3.2), so interior loops
+// receive heartbeats too. For a nest of d loops in a chain this is the
+// d(d-1)/2 quadratic family the paper says is impractical to write by hand;
+// like HBC we keep code size under control by sharing one parameterized
+// body across all pairs — each table entry binds only (Li, Lj).
+
+// leftoverTask is a compiled leftover for the pair (li receives heartbeat,
+// lj gets split). Its code is Algorithm 2, specialized by binding.
+type leftoverTask struct {
+	li, lj *cloop
+}
+
+// generateLeftovers populates the leftover task table. This is Algorithm 1
+// extended from leaves to all loops, plus the §3.4 linking step: the table
+// is indexed by (li.ord, lj.level), a perfect hash for the pair domain
+// since a loop has at most one ancestor per level.
+func (p *Program) generateLeftovers() {
+	p.leftovers = make([][]*leftoverTask, len(p.loops))
+	for _, li := range p.loops {
+		p.leftovers[li.ord] = make([]*leftoverTask, p.depth)
+		for lj := li.parent; lj != nil; lj = lj.parent {
+			p.leftovers[li.ord][lj.id.Level] = &leftoverTask{li: li, lj: lj}
+		}
+	}
+}
+
+// leftoverFor performs the leftover-task-table lookup of the promotion
+// handler (§3.4).
+func (p *Program) leftoverFor(li, lj *cloop) *leftoverTask {
+	t := p.leftovers[li.ord][lj.id.Level]
+	if t == nil {
+		panic("core: missing leftover task for " + li.id.String() + "→" + lj.id.String())
+	}
+	return t
+}
+
+// run executes the leftover task on the given task state, whose chain must
+// be a promotion snapshot: chain[li.level].iv is the next unstarted
+// iteration of li's in-flight invocation, intermediate ancestors' iv are
+// their in-flight iterations with their remaining ranges intact, and lj and
+// everything above it shows no remaining iterations.
+//
+// This is Algorithm 2, with one generalization: any step may itself be
+// promoted by a later heartbeat (the leftover's own latent parallelism —
+// the intermediate ancestors' remaining iterations — is visible to the
+// outer-loop-first scan). A nested promotion at level q hands everything at
+// levels ≥ q to new tasks, so the walk resumes at q's parent.
+func (lt *leftoverTask) run(ts *taskRun) {
+	li, lj := lt.li, lt.lj
+	// Line 5: finish li's current invocation from its next iteration on.
+	cur := li
+	pl := ts.runLoop(li)
+	if pl != noPromo {
+		cur = ancestorAt(li, pl)
+	}
+	// Lines 6–16: walk ancestors up to and including lj's tail work.
+	for cur != lj {
+		par := cur.parent
+		// Tail work of par's in-flight iteration: remaining sibling child
+		// invocations after the one we returned from, then par's Post.
+		pl = ts.tailOf(par)
+		if pl == noPromo && par != lj {
+			// Lines 11–12: advance par past its in-flight iteration and run
+			// its remaining iterations via its loop-slice code.
+			ts.chain[par.id.Level].iv++
+			pl = ts.runLoop(par)
+		}
+		if pl != noPromo {
+			if pl <= lj.id.Level {
+				panic("core: leftover promoted at or above the split loop")
+			}
+			cur = ancestorAt(li, pl)
+		} else {
+			cur = par
+		}
+	}
+}

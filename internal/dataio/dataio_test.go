@@ -1,0 +1,129 @@
+package dataio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hbc/internal/graph"
+	"hbc/internal/matrix"
+	"hbc/internal/tensor"
+)
+
+func TestMatrixRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.hbc")
+	m := matrix.PowerLaw(200, 100, 0.8, 7)
+	if err := SaveMatrix(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.NNZ() != m.NNZ() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.Rows, got.NNZ(), m.Rows, m.NNZ())
+	}
+	for i := range m.Val {
+		if got.Val[i] != m.Val[i] || got.ColInd[i] != m.ColInd[i] {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+}
+
+func TestTensorRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.hbc")
+	ts := tensor.PowerLawTensor(20, 15, 12, 8, 6, 0.9, 3)
+	if err := SaveTensor(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTensor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != ts.NNZ() || got.Fibers() != ts.Fibers() {
+		t.Fatal("tensor shape mismatch")
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.hbc")
+	g := graph.RMAT(8, 6, 5)
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != g.N || got.M() != g.M() {
+		t.Fatal("graph shape mismatch")
+	}
+	for i := range g.InAdj {
+		if got.InAdj[i] != g.InAdj[i] {
+			t.Fatalf("adjacency mismatch at %d", i)
+		}
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, KindMatrix, matrix.Arrowhead(4)); err != nil {
+		t.Fatal(err)
+	}
+	var g graph.Graph
+	err := ReadFrom(&buf, KindGraph, &g)
+	if err == nil || !strings.Contains(err.Error(), "holds") {
+		t.Fatalf("kind mismatch not rejected: %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	var m matrix.CSR
+	err := ReadFrom(strings.NewReader("NOTDATA1xxxxxxx"), KindMatrix, &m)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic not rejected: %v", err)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, KindTensor, tensor.PowerLawTensor(3, 3, 3, 2, 2, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	k, err := Peek(&buf)
+	if err != nil || k != KindTensor {
+		t.Fatalf("Peek = %v, %v", k, err)
+	}
+}
+
+func TestLoadCorruptPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.hbc")
+	m := matrix.Arrowhead(8)
+	if err := SaveMatrix(path, m); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file mid-payload.
+	raw, _ := readAll(t, path)
+	writeAll(t, path, raw[:len(raw)-4])
+	if _, err := LoadMatrix(path); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+}
+
+func readAll(t *testing.T, path string) ([]byte, error) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, err
+}
+
+func writeAll(t *testing.T, path string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

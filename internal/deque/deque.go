@@ -1,0 +1,131 @@
+// Package deque implements a Chase-Lev work-stealing deque.
+//
+// The owner of the deque pushes and pops tasks at the bottom in LIFO order;
+// thieves steal from the top in FIFO order. This is the classic dynamic
+// circular work-stealing deque of Chase and Lev (SPAA 2005), adapted to Go's
+// sequentially-consistent atomics. The heartbeat runtime keeps one deque per
+// worker: promotions push their loop-slice and leftover tasks on the owning
+// worker's deque, where they are either executed locally in LIFO order (the
+// fast path that enables the clone optimization) or stolen by idle workers.
+package deque
+
+import (
+	"sync/atomic"
+)
+
+// Deque is a work-stealing deque of *T. The zero value is not usable; create
+// one with New. PushBottom and PopBottom may only be called by the owning
+// goroutine. Steal may be called by any goroutine.
+type Deque[T any] struct {
+	bottom atomic.Int64
+	top    atomic.Int64
+	buf    atomic.Pointer[ring[T]]
+}
+
+// ring is a fixed-capacity circular buffer with atomic slots. Slots must be
+// accessed atomically because a thief may read a slot concurrently with the
+// owner overwriting it after a successful steal.
+type ring[T any] struct {
+	mask  int64
+	slots []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{mask: capacity - 1, slots: make([]atomic.Pointer[T], capacity)}
+}
+
+func (r *ring[T]) cap() int64        { return r.mask + 1 }
+func (r *ring[T]) get(i int64) *T    { return r.slots[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, x *T) { r.slots[i&r.mask].Store(x) }
+
+// New returns an empty deque with at least the given initial capacity
+// (rounded up to a power of two, minimum 8).
+func New[T any](capacity int) *Deque[T] {
+	c := int64(8)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	d := &Deque[T]{}
+	d.buf.Store(newRing[T](c))
+	return d
+}
+
+// PushBottom appends x at the bottom of the deque. Owner only.
+func (d *Deque[T]) PushBottom(x *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= buf.cap() {
+		buf = d.grow(buf, t, b)
+	}
+	buf.put(b, x)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the buffer, copying the live range [t, b).
+func (d *Deque[T]) grow(old *ring[T], t, b int64) *ring[T] {
+	nr := newRing[T](old.cap() * 2)
+	for i := t; i < b; i++ {
+		nr.put(i, old.get(i))
+	}
+	d.buf.Store(nr)
+	return nr
+}
+
+// PopBottom removes and returns the most recently pushed element. Owner only.
+// Returns false when the deque is empty.
+func (d *Deque[T]) PopBottom() (*T, bool) {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore the invariant bottom >= top.
+		d.bottom.Store(t)
+		return nil, false
+	}
+	x := buf.get(b)
+	if t == b {
+		// Last element: race against thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			x = nil // a thief got it first
+		}
+		d.bottom.Store(t + 1)
+		if x == nil {
+			return nil, false
+		}
+		return x, true
+	}
+	return x, true
+}
+
+// Steal removes and returns the oldest element. Any goroutine may call it.
+// Returns false when the deque is empty or when the caller lost a race with
+// the owner or another thief; callers typically retry on a different victim.
+func (d *Deque[T]) Steal() (*T, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	buf := d.buf.Load()
+	x := buf.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, false
+	}
+	return x, true
+}
+
+// Size returns a linearizable-at-some-point estimate of the number of
+// elements. Intended for monitoring and tests, not synchronization.
+func (d *Deque[T]) Size() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// Empty reports whether the deque appeared empty at some recent instant.
+func (d *Deque[T]) Empty() bool { return d.Size() == 0 }

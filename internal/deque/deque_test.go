@@ -1,0 +1,256 @@
+package deque
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	d := New[int](4)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8, 9} // forces growth past 8
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	if got := d.Size(); got != len(vals) {
+		t.Fatalf("Size = %d, want %d", got, len(vals))
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		x, ok := d.PopBottom()
+		if !ok {
+			t.Fatalf("PopBottom empty at i=%d", i)
+		}
+		if *x != vals[i] {
+			t.Fatalf("PopBottom = %d, want %d", *x, vals[i])
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty deque returned ok")
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New[int](4)
+	vals := []int{10, 20, 30}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	for i := 0; i < len(vals); i++ {
+		x, ok := d.Steal()
+		if !ok {
+			t.Fatalf("Steal empty at i=%d", i)
+		}
+		if *x != vals[i] {
+			t.Fatalf("Steal = %d, want %d", *x, vals[i])
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal on empty deque returned ok")
+	}
+}
+
+func TestInterleavedPushPopSteal(t *testing.T) {
+	d := New[int](4)
+	a, b, c := 1, 2, 3
+	d.PushBottom(&a)
+	d.PushBottom(&b)
+	if x, ok := d.Steal(); !ok || *x != 1 {
+		t.Fatalf("Steal = %v,%v want 1,true", x, ok)
+	}
+	d.PushBottom(&c)
+	if x, ok := d.PopBottom(); !ok || *x != 3 {
+		t.Fatalf("PopBottom = %v,%v want 3,true", x, ok)
+	}
+	if x, ok := d.PopBottom(); !ok || *x != 2 {
+		t.Fatalf("PopBottom = %v,%v want 2,true", x, ok)
+	}
+	if !d.Empty() {
+		t.Fatal("deque should be empty")
+	}
+}
+
+// TestOwnerThiefNoLossNoDup hammers the deque with one owner and several
+// thieves and checks that every pushed element is received exactly once.
+func TestOwnerThiefNoLossNoDup(t *testing.T) {
+	const n = 20000
+	const thieves = 4
+	d := New[int64](8)
+	var received [n]atomic.Int32
+	var stolen, popped atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if x, ok := d.Steal(); ok {
+					received[*x].Add(1)
+					stolen.Add(1)
+					continue
+				}
+				select {
+				case <-stop:
+					// Drain once more after the owner is done.
+					for {
+						x, ok := d.Steal()
+						if !ok {
+							return
+						}
+						received[*x].Add(1)
+						stolen.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	vals := make([]int64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := int64(0); i < n; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+		if rng.Intn(3) == 0 {
+			if x, ok := d.PopBottom(); ok {
+				received[*x].Add(1)
+				popped.Add(1)
+			}
+		}
+	}
+	// Owner drains its own remainder.
+	for {
+		x, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		received[*x].Add(1)
+		popped.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if c := received[i].Load(); c != 1 {
+			t.Fatalf("element %d received %d times", i, c)
+		}
+	}
+	if stolen.Load()+popped.Load() != n {
+		t.Fatalf("stolen(%d)+popped(%d) != %d", stolen.Load(), popped.Load(), n)
+	}
+}
+
+// TestQuickSequentialSemantics checks, against a simple slice model, that an
+// arbitrary sequence of single-threaded push/pop/steal operations behaves
+// like a deque (pop from back, steal from front).
+func TestQuickSequentialSemantics(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New[int](2)
+		var model []int
+		store := make([]int, 0, len(ops))
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				store = append(store, next)
+				model = append(model, next)
+				d.PushBottom(&store[len(store)-1])
+				next++
+			case 1: // pop bottom
+				x, ok := d.PopBottom()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if !ok || *x != want {
+						return false
+					}
+				}
+			case 2: // steal
+				x, ok := d.Steal()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					want := model[0]
+					model = model[1:]
+					if !ok || *x != want {
+						return false
+					}
+				}
+			}
+		}
+		return d.Size() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthPreservesOrder(t *testing.T) {
+	d := New[int](2)
+	const n = 1000
+	vals := make([]int, n)
+	for i := 0; i < n; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	for i := 0; i < n/2; i++ {
+		x, ok := d.Steal()
+		if !ok || *x != i {
+			t.Fatalf("Steal after growth = %v,%v want %d", x, ok, i)
+		}
+	}
+	for i := n - 1; i >= n/2; i-- {
+		x, ok := d.PopBottom()
+		if !ok || *x != i {
+			t.Fatalf("PopBottom after growth = %v,%v want %d", x, ok, i)
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int](64)
+	x := 42
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&x)
+		d.PopBottom()
+	}
+}
+
+func BenchmarkStealContention(b *testing.B) {
+	d := New[int](64)
+	x := 7
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					d.Steal()
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(&x)
+		d.PopBottom()
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,62 @@
+package deque
+
+import "sync"
+
+// Locked is a mutex-based deque with the same owner/thief interface as the
+// Chase-Lev Deque. It exists as the scheduler-substrate ablation: comparing
+// the two under the runtime's fork/join microbenchmarks shows what the
+// lock-free structure buys (see BenchmarkLockedVsChaseLev). The heartbeat
+// runtime always uses the lock-free deque.
+type Locked[T any] struct {
+	mu    sync.Mutex
+	items []*T
+}
+
+// NewLocked returns an empty mutex-based deque.
+func NewLocked[T any](capacity int) *Locked[T] {
+	return &Locked[T]{items: make([]*T, 0, capacity)}
+}
+
+// PushBottom appends x at the bottom.
+func (d *Locked[T]) PushBottom(x *T) {
+	d.mu.Lock()
+	d.items = append(d.items, x)
+	d.mu.Unlock()
+}
+
+// PopBottom removes and returns the most recently pushed element.
+func (d *Locked[T]) PopBottom() (*T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil, false
+	}
+	x := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return x, true
+}
+
+// Steal removes and returns the oldest element.
+func (d *Locked[T]) Steal() (*T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	x := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	return x, true
+}
+
+// Size returns the current element count.
+func (d *Locked[T]) Size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// Empty reports whether the deque is empty.
+func (d *Locked[T]) Empty() bool { return d.Size() == 0 }

@@ -1,0 +1,173 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// workStealingDeque is the owner/thief interface both implementations
+// provide; the conformance tests run against each through it.
+type workStealingDeque[T any] interface {
+	PushBottom(*T)
+	PopBottom() (*T, bool)
+	Steal() (*T, bool)
+	Size() int
+}
+
+func implementations() map[string]func() workStealingDeque[int] {
+	return map[string]func() workStealingDeque[int]{
+		"chase-lev": func() workStealingDeque[int] { return New[int](4) },
+		"locked":    func() workStealingDeque[int] { return NewLocked[int](4) },
+	}
+}
+
+func TestConformanceSequentialModel(t *testing.T) {
+	for name, mk := range implementations() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint8) bool {
+				d := mk()
+				var model []int
+				store := make([]int, 0, len(ops))
+				next := 0
+				for _, op := range ops {
+					switch op % 3 {
+					case 0:
+						store = append(store, next)
+						model = append(model, next)
+						d.PushBottom(&store[len(store)-1])
+						next++
+					case 1:
+						x, ok := d.PopBottom()
+						if len(model) == 0 {
+							if ok {
+								return false
+							}
+						} else {
+							want := model[len(model)-1]
+							model = model[:len(model)-1]
+							if !ok || *x != want {
+								return false
+							}
+						}
+					case 2:
+						x, ok := d.Steal()
+						if len(model) == 0 {
+							if ok {
+								return false
+							}
+						} else {
+							want := model[0]
+							model = model[1:]
+							if !ok || *x != want {
+								return false
+							}
+						}
+					}
+				}
+				return d.Size() == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConformanceConcurrent(t *testing.T) {
+	for name, mk := range implementations() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			const n = 10000
+			d := mk()
+			var received [n]atomic.Int32
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						if x, ok := d.Steal(); ok {
+							received[*x].Add(1)
+							continue
+						}
+						select {
+						case <-stop:
+							for {
+								x, ok := d.Steal()
+								if !ok {
+									return
+								}
+								received[*x].Add(1)
+							}
+						default:
+						}
+					}
+				}()
+			}
+			vals := make([]int, n)
+			for i := 0; i < n; i++ {
+				vals[i] = i
+				d.PushBottom(&vals[i])
+				if i%3 == 0 {
+					if x, ok := d.PopBottom(); ok {
+						received[*x].Add(1)
+					}
+				}
+			}
+			for {
+				x, ok := d.PopBottom()
+				if !ok {
+					break
+				}
+				received[*x].Add(1)
+			}
+			close(stop)
+			wg.Wait()
+			for i := 0; i < n; i++ {
+				if c := received[i].Load(); c != 1 {
+					t.Fatalf("element %d received %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLockedVsChaseLev compares owner-side push/pop cost with thieves
+// hammering the structure — the ablation justifying the lock-free deque.
+func BenchmarkLockedVsChaseLev(b *testing.B) {
+	for name, mk := range implementations() {
+		name, mk := name, mk
+		b.Run(name, func(b *testing.B) {
+			d := mk()
+			x := 1
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							d.Steal()
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.PushBottom(&x)
+				d.PopBottom()
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

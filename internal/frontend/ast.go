@@ -1,0 +1,152 @@
+package frontend
+
+// Abstract syntax of the kernel language. One file = one kernel: a header
+// of declarations followed by a single (possibly nested) top-level
+// parallel-for loop.
+
+// Kernel is a parsed kernel file.
+type Kernel struct {
+	Name string
+	// Decls are the header declarations in order.
+	Decls []Decl
+	// Root is the top-level parallel loop.
+	Root *LoopStmt
+}
+
+// Decl is a header declaration.
+type Decl interface{ declNode() }
+
+// LetDecl declares an integer scalar: `let n = <const-expr>`.
+type LetDecl struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// MatrixDecl binds a synthetic CSR matrix: `matrix A = arrowhead(n)`.
+// It introduces A.rows (int scalar), A.nnz (int scalar), A.rowPtr and
+// A.colInd (int arrays), and A.val (float array).
+type MatrixDecl struct {
+	Name string
+	Gen  string // arrowhead | powerlaw | random | cage
+	Args []Expr
+	Line int
+}
+
+// ArrayDecl declares a dense array: `array x float[n] = 1.0` (the
+// initializer fills every element; omitted means zero).
+type ArrayDecl struct {
+	Name  string
+	Float bool
+	Len   Expr
+	Init  Expr // nil for zero fill
+	Line  int
+}
+
+func (*LetDecl) declNode()    {}
+func (*MatrixDecl) declNode() {}
+func (*ArrayDecl) declNode()  {}
+
+// Stmt is a statement inside a loop body.
+type Stmt interface{ stmtNode() }
+
+// LoopStmt is a for loop: serial or parallel, with an optional reduction
+// accumulator binding (`reduce(s)`).
+type LoopStmt struct {
+	Parallel bool
+	Var      string
+	Lo, Hi   Expr
+	Reduce   string // accumulator consumed by this loop, "" if none
+	Body     []Stmt
+	Line     int
+}
+
+// SumDecl declares a float accumulator in the enclosing iteration:
+// `sum s = 0.0`. A nested parallel loop may claim it with reduce(s).
+type SumDecl struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt is `lval = expr` or `lval += expr`. The lvalue is either an
+// array element (Index != nil) or an accumulator.
+type AssignStmt struct {
+	Target string
+	Index  Expr // nil for scalar accumulator targets
+	Add    bool // += instead of =
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is `if cond { ... } (else { ... })?`.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// LetStmt declares a mutable local variable in the enclosing scope:
+// `let t = <expr>`. The initializer's type (int or float) fixes the local's
+// type; re-executing the statement (e.g. inside a serial loop) reinitializes
+// it.
+type LetStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// BreakStmt exits the innermost *serial* loop.
+type BreakStmt struct{ Line int }
+
+func (*LoopStmt) stmtNode()   {}
+func (*LetStmt) stmtNode()    {}
+func (*SumDecl) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()  {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+// FloatLit is a float literal.
+type FloatLit struct{ Value float64 }
+
+// Ident references a scalar, loop variable, accumulator, or array (when
+// indexed). Dotted names reference dataset fields (A.rowPtr).
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IndexExpr is arr[idx].
+type IndexExpr struct {
+	Array string
+	Index Expr
+	Line  int
+}
+
+// BinExpr is a binary operation. Op is one of + - * / % == != < <= > >= && ||.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+func (*IntLit) exprNode()    {}
+func (*FloatLit) exprNode()  {}
+func (*Ident) exprNode()     {}
+func (*IndexExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*UnaryExpr) exprNode() {}

@@ -1,0 +1,131 @@
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed kernel back to canonical source. Formatting then
+// re-parsing yields an equivalent kernel (idempotent after one pass), which
+// the tests verify by round-trip.
+func Format(k *Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s\n", k.Name)
+	for _, d := range k.Decls {
+		switch x := d.(type) {
+		case *LetDecl:
+			fmt.Fprintf(&b, "let %s = %s\n", x.Name, FormatExpr(x.Init))
+		case *MatrixDecl:
+			args := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = FormatExpr(a)
+			}
+			fmt.Fprintf(&b, "matrix %s = %s(%s)\n", x.Name, x.Gen, strings.Join(args, ", "))
+		case *ArrayDecl:
+			ty := "int"
+			if x.Float {
+				ty = "float"
+			}
+			fmt.Fprintf(&b, "array %s %s[%s]", x.Name, ty, FormatExpr(x.Len))
+			if x.Init != nil {
+				fmt.Fprintf(&b, " = %s", FormatExpr(x.Init))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if k.Root != nil {
+		b.WriteByte('\n')
+		formatStmt(&b, k.Root, 0)
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	switch x := s.(type) {
+	case *LoopStmt:
+		indent(b, depth)
+		if x.Parallel {
+			b.WriteString("parallel ")
+		}
+		fmt.Fprintf(b, "for %s = %s .. %s", x.Var, FormatExpr(x.Lo), FormatExpr(x.Hi))
+		if x.Reduce != "" {
+			fmt.Fprintf(b, " reduce(%s)", x.Reduce)
+		}
+		b.WriteString(" {\n")
+		for _, st := range x.Body {
+			formatStmt(b, st, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *SumDecl:
+		indent(b, depth)
+		fmt.Fprintf(b, "sum %s = %s\n", x.Name, FormatExpr(x.Init))
+	case *LetStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "let %s = %s\n", x.Name, FormatExpr(x.Init))
+	case *AssignStmt:
+		indent(b, depth)
+		b.WriteString(x.Target)
+		if x.Index != nil {
+			fmt.Fprintf(b, "[%s]", FormatExpr(x.Index))
+		}
+		if x.Add {
+			b.WriteString(" += ")
+		} else {
+			b.WriteString(" = ")
+		}
+		b.WriteString(FormatExpr(x.Value))
+		b.WriteByte('\n')
+	case *IfStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "if %s {\n", FormatExpr(x.Cond))
+		for _, st := range x.Then {
+			formatStmt(b, st, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+		if len(x.Else) > 0 {
+			indent(b, depth)
+			b.WriteString("else {\n")
+			for _, st := range x.Else {
+				formatStmt(b, st, depth+1)
+			}
+			indent(b, depth)
+			b.WriteString("}\n")
+		}
+	case *BreakStmt:
+		indent(b, depth)
+		b.WriteString("break\n")
+	}
+}
+
+// FormatExpr renders an expression, parenthesizing every compound
+// subexpression so precedence survives the round trip.
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(x.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *Ident:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Array, FormatExpr(x.Index))
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.L), x.Op, FormatExpr(x.R))
+	case *UnaryExpr:
+		return fmt.Sprintf("(%s%s)", x.Op, FormatExpr(x.X))
+	}
+	return "?"
+}

@@ -1,0 +1,515 @@
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses kernel source text.
+func Parse(src string) (*Kernel, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.kernel()
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) line() int   { return p.peek().line }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) skipNL() {
+	for p.peek().kind == tokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("frontend: line %d: %s", p.line(), fmt.Sprintf(format, args...))
+}
+
+// accept consumes the next token if it is the given symbol or keyword.
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if (t.kind == tokSymbol || t.kind == tokIdent) && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %s", text, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) expectNL() error {
+	if p.peek().kind == tokEOF {
+		return nil
+	}
+	if p.peek().kind != tokNewline {
+		return p.errf("expected end of line, found %s", p.peek())
+	}
+	p.skipNL()
+	return nil
+}
+
+// kernel = "kernel" ident NL decl* loop EOF
+func (p *parser) kernel() (*Kernel, error) {
+	p.skipNL()
+	if err := p.expect("kernel"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectNL(); err != nil {
+		return nil, err
+	}
+	k := &Kernel{Name: name}
+	for {
+		p.skipNL()
+		switch {
+		case p.peek().kind == tokIdent && p.peek().text == "let":
+			d, err := p.letDecl()
+			if err != nil {
+				return nil, err
+			}
+			k.Decls = append(k.Decls, d)
+		case p.peek().kind == tokIdent && p.peek().text == "matrix":
+			d, err := p.matrixDecl()
+			if err != nil {
+				return nil, err
+			}
+			k.Decls = append(k.Decls, d)
+		case p.peek().kind == tokIdent && p.peek().text == "array":
+			d, err := p.arrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			k.Decls = append(k.Decls, d)
+		case p.peek().kind == tokIdent && (p.peek().text == "parallel" || p.peek().text == "for"):
+			root, err := p.loopStmt()
+			if err != nil {
+				return nil, err
+			}
+			if !root.Parallel {
+				return nil, fmt.Errorf("frontend: line %d: the top-level loop must be `parallel for`", root.Line)
+			}
+			k.Root = root
+			p.skipNL()
+			if !p.atEOF() {
+				return nil, p.errf("unexpected %s after the top-level loop", p.peek())
+			}
+			return k, nil
+		default:
+			return nil, p.errf("expected a declaration or the top-level parallel loop, found %s", p.peek())
+		}
+	}
+}
+
+// letDecl = "let" ident "=" expr NL
+func (p *parser) letDecl() (*LetDecl, error) {
+	line := p.line()
+	p.next() // let
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &LetDecl{Name: name, Init: e, Line: line}, p.expectNL()
+}
+
+// matrixDecl = "matrix" ident "=" gen "(" args ")" NL
+func (p *parser) matrixDecl() (*MatrixDecl, error) {
+	line := p.line()
+	p.next() // matrix
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	gen, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !p.accept(")") {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &MatrixDecl{Name: name, Gen: gen, Args: args, Line: line}, p.expectNL()
+}
+
+// arrayDecl = "array" ident ("int"|"float") "[" expr "]" ("=" expr)? NL
+func (p *parser) arrayDecl() (*ArrayDecl, error) {
+	line := p.line()
+	p.next() // array
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ty, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if ty != "int" && ty != "float" {
+		return nil, p.errf("array type must be int or float, got %q", ty)
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	ln, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	var init Expr
+	if p.accept("=") {
+		init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &ArrayDecl{Name: name, Float: ty == "float", Len: ln, Init: init, Line: line}, p.expectNL()
+}
+
+// loopStmt = ("parallel")? "for" ident "=" expr ".." expr ("reduce" "(" ident ")")? block
+func (p *parser) loopStmt() (*LoopStmt, error) {
+	line := p.line()
+	parallel := p.accept("parallel")
+	if err := p.expect("for"); err != nil {
+		return nil, err
+	}
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(".."); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	reduce := ""
+	if p.accept("reduce") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		reduce, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &LoopStmt{Parallel: parallel, Var: v, Lo: lo, Hi: hi, Reduce: reduce, Body: body, Line: line}, nil
+}
+
+// block = "{" NL stmt* "}"
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	p.skipNL()
+	var stmts []Stmt
+	for !p.accept("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		p.skipNL()
+	}
+	return stmts, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected a statement, found %s", t)
+	}
+	switch t.text {
+	case "parallel", "for":
+		return p.loopStmt()
+	case "let":
+		line := p.line()
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &LetStmt{Name: name, Init: init, Line: line}, p.expectNL()
+	case "sum":
+		line := p.line()
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &SumDecl{Name: name, Init: init, Line: line}, p.expectNL()
+	case "if":
+		return p.ifStmt()
+	case "break":
+		line := p.line()
+		p.next()
+		return &BreakStmt{Line: line}, p.expectNL()
+	default:
+		return p.assignStmt()
+	}
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	line := p.line()
+	p.next() // if
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	p.skipNL()
+	if p.accept("else") {
+		els, err = p.block()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Line: line}, nil
+}
+
+// assignStmt = ident ("[" expr "]")? ("="|"+=") expr NL
+func (p *parser) assignStmt() (Stmt, error) {
+	line := p.line()
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var index Expr
+	if p.accept("[") {
+		index, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	add := false
+	switch {
+	case p.accept("+="):
+		add = true
+	case p.accept("="):
+	default:
+		return nil, p.errf("expected = or += after %q", name)
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Target: name, Index: index, Add: add, Value: val, Line: line}, p.expectNL()
+}
+
+// Expression grammar with standard precedence:
+//
+//	or   := and ("||" and)*
+//	and  := cmp ("&&" cmp)*
+//	cmp  := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//	add  := mul (("+"|"-") mul)*
+//	mul  := unary (("*"|"/"|"%") unary)*
+//	unary:= ("-"|"!") unary | primary
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binLevel(p.andExpr, "||")
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binLevel(p.cmpExpr, "&&")
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.peek().kind == tokSymbol && p.peek().text == op {
+			line := p.line()
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: op, L: l, R: r, Line: line}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	return p.binLevel(p.mulExpr, "+", "-")
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binLevel(p.unaryExpr, "*", "/", "%")
+}
+
+func (p *parser) binLevel(sub func() (Expr, error), ops ...string) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.peek().kind == tokSymbol && p.peek().text == op {
+				line := p.line()
+				p.next()
+				r, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				l = &BinExpr{Op: op, L: l, R: r, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.peek().kind == tokSymbol && (p.peek().text == "-" || p.peek().text == "!") {
+		line := p.line()
+		op := p.next().text
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x, Line: line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return &IntLit{Value: v}, nil
+	case tokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.text)
+		}
+		return &FloatLit{Value: v}, nil
+	case tokIdent:
+		line := p.line()
+		name := p.next().text
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Array: name, Index: idx, Line: line}, nil
+		}
+		return &Ident{Name: name, Line: line}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, p.errf("expected an expression, found %s", t)
+}

@@ -1,0 +1,176 @@
+// Package frontend is the textual front-end of the reproduction: it parses
+// a small kernel language — ordinary nested loops where parallelism is
+// declared with a `parallel` keyword, the analog of the paper's
+// OpenMP-pragma front-end — and compiles it into the loopnest IR consumed
+// by the heartbeat middle-end (internal/core).
+//
+// The language is deliberately small but real: typed scalars and arrays,
+// dataset bindings for the synthetic generators, arithmetic and comparison
+// expressions, serial for/if statements, and nested `parallel for` loops
+// with scalar sum reductions. A kernel like the paper's running example
+// reads:
+//
+//	kernel spmv
+//	let n = 1000
+//	matrix A = arrowhead(n)
+//	array x float[n] = 1.0
+//	array out float[n]
+//
+//	parallel for i = 0 .. A.rows {
+//	    sum s = 0.0
+//	    parallel for j = A.rowPtr[i] .. A.rowPtr[i+1] reduce(s) {
+//	        s += A.val[j] * x[A.colInd[j]]
+//	    }
+//	    out[i] = s
+//	}
+//
+// Compiled kernels execute through the same Program/Exec machinery as
+// handwritten nests (interpreted bodies: the front-end demonstrates the
+// pipeline, not peak throughput).
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokSymbol // one of ( ) { } [ ] = + - * / % , . ! < > and multi-char ops
+	tokNewline
+)
+
+// token is one lexeme with its position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNewline:
+		return "end of line"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer splits kernel source into tokens. Comments run from '#' to end of
+// line. Newlines are significant (they terminate statements) and are
+// emitted as tokens, collapsed across blank lines.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\n':
+			l.emitNewline()
+			l.pos++
+			l.line++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emitNewline()
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) emitNewline() {
+	if n := len(l.toks); n > 0 && l.toks[n-1].kind != tokNewline {
+		l.toks = append(l.toks, token{kind: tokNewline, line: l.line})
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// lexIdent consumes an identifier, including dotted field access
+// (e.g. A.rowPtr) as a single token.
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	// Dotted field: ident '.' ident, used by dataset bindings.
+	for l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isIdentStart(rune(l.src[l.pos+1])) {
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], line: l.line})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	kind := tokInt
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+		l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+		kind = tokFloat
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+	}
+	l.toks = append(l.toks, token{kind: kind, text: l.src[start:l.pos], line: l.line})
+	return nil
+}
+
+// symbols longest-first so multi-character operators win.
+var symbols = []string{
+	"..", "+=", "==", "!=", "<=", ">=", "&&", "||",
+	"(", ")", "{", "}", "[", "]", "=", "+", "-", "*", "/", "%", ",", "<", ">", "!",
+}
+
+func (l *lexer) lexSymbol() error {
+	rest := l.src[l.pos:]
+	for _, s := range symbols {
+		if strings.HasPrefix(rest, s) {
+			l.toks = append(l.toks, token{kind: tokSymbol, text: s, line: l.line})
+			l.pos += len(s)
+			return nil
+		}
+	}
+	return fmt.Errorf("frontend: line %d: unexpected character %q", l.line, rest[0])
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// line builds a simple path graph 0→1→2→...→n-1 with unit weights.
+func line(n int64) *Graph {
+	src := make([]int32, n-1)
+	dst := make([]int32, n-1)
+	for i := int64(0); i < n-1; i++ {
+		src[i], dst[i] = int32(i), int32(i+1)
+	}
+	return FromEdges(n, src, dst, nil)
+}
+
+func TestFromEdgesStructure(t *testing.T) {
+	g := FromEdges(4,
+		[]int32{0, 0, 1, 2, 3},
+		[]int32{1, 2, 2, 3, 0},
+		func(e int64) float64 { return float64(e + 1) })
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 5 {
+		t.Fatalf("edges = %d, want 5", g.M())
+	}
+	if g.InDeg(2) != 2 {
+		t.Fatalf("InDeg(2) = %d, want 2", g.InDeg(2))
+	}
+	if g.OutDeg[0] != 2 {
+		t.Fatalf("OutDeg[0] = %d, want 2", g.OutDeg[0])
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 8, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 || g.M() != 8*1024 {
+		t.Fatalf("N=%d M=%d, want 1024, 8192", g.N, g.M())
+	}
+	// Power-law skew: the max in-degree dwarfs the average.
+	if g.MaxInDeg() < 4*8 {
+		t.Fatalf("MaxInDeg = %d: RMAT skew missing", g.MaxInDeg())
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(8, 4, 7)
+	b := RMAT(8, 4, 7)
+	for i := range a.InAdj {
+		if a.InAdj[i] != b.InAdj[i] {
+			t.Fatal("RMAT not deterministic")
+		}
+	}
+}
+
+func TestBFSLine(t *testing.T) {
+	g := line(6)
+	lv := BFS(g, 0)
+	for i := int64(0); i < 6; i++ {
+		if lv[i] != int32(i) {
+			t.Fatalf("level[%d] = %d, want %d", i, lv[i], i)
+		}
+	}
+	// From the middle: upstream vertices unreachable.
+	lv = BFS(g, 3)
+	if lv[2] != -1 || lv[5] != 2 {
+		t.Fatalf("levels from 3: %v", lv)
+	}
+}
+
+func TestCCTwoComponents(t *testing.T) {
+	// 0↔1↔2 and 3↔4 (both directions so propagation settles to the min id).
+	src := []int32{0, 1, 1, 2, 3, 4}
+	dst := []int32{1, 0, 2, 1, 4, 3}
+	g := FromEdges(5, src, dst, nil)
+	label := CC(g)
+	if label[0] != 0 || label[1] != 0 || label[2] != 0 {
+		t.Fatalf("component A labels: %v", label)
+	}
+	if label[3] != 3 || label[4] != 3 {
+		t.Fatalf("component B labels: %v", label)
+	}
+}
+
+func TestSSSPLine(t *testing.T) {
+	g := line(5)
+	d := SSSP(g, 0)
+	for i := int64(0); i < 5; i++ {
+		if d[i] != float64(i) {
+			t.Fatalf("dist[%d] = %g, want %d", i, d[i], i)
+		}
+	}
+	d = SSSP(g, 2)
+	if d[1] != Inf || d[4] != 2 {
+		t.Fatalf("dist from 2: %v", d)
+	}
+}
+
+func TestSSSPShorterPathWins(t *testing.T) {
+	// 0→1 (w 10), 0→2 (w 1), 2→1 (w 1): dist[1] = 2.
+	src := []int32{0, 0, 2}
+	dst := []int32{1, 2, 1}
+	w := []float64{10, 1, 1}
+	g := FromEdges(3, src, dst, func(e int64) float64 { return w[e] })
+	d := SSSP(g, 0)
+	if d[1] != 2 {
+		t.Fatalf("dist[1] = %g, want 2", d[1])
+	}
+}
+
+func TestPageRankConservesMassOnCycle(t *testing.T) {
+	// A directed cycle: uniform rank is the fixed point, total mass 1.
+	n := int64(10)
+	src := make([]int32, n)
+	dst := make([]int32, n)
+	for i := int64(0); i < n; i++ {
+		src[i], dst[i] = int32(i), int32((i+1)%n)
+	}
+	g := FromEdges(n, src, dst, nil)
+	r := PageRank(g, 30)
+	var sum float64
+	for _, v := range r {
+		sum += v
+		if math.Abs(v-0.1) > 1e-9 {
+			t.Fatalf("cycle rank %g, want 0.1", v)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("rank mass = %g, want 1", sum)
+	}
+}
+
+func TestPageRankDeltaApproachesPageRank(t *testing.T) {
+	// The two formulations share a fixed point but approach it from
+	// different initial transients, which decay as damping^t — hence the
+	// long run and the matching tolerance.
+	g := RMAT(8, 6, 3)
+	exact := PageRank(g, 120)
+	delta := PageRankDelta(g, 120, 0) // epsilon 0: no pruning
+	for v := range exact {
+		if math.Abs(exact[v]-delta[v]) > 1e-7 {
+			t.Fatalf("pr-delta[%d] = %g, pr = %g", v, delta[v], exact[v])
+		}
+	}
+}
+
+func TestCFReducesError(t *testing.T) {
+	g := RMAT(7, 5, 9)
+	mse := func(lat []float64) float64 {
+		var s float64
+		var m int64
+		for v := int64(0); v < g.N; v++ {
+			for p := g.InPtr[v]; p < g.InPtr[v+1]; p++ {
+				u := int64(g.InAdj[p]) * CFK
+				var est float64
+				for k := int64(0); k < CFK; k++ {
+					est += lat[v*CFK+k] * lat[u+k]
+				}
+				d := g.InW[p] - est
+				s += d * d
+				m++
+			}
+		}
+		return s / float64(m)
+	}
+	l1 := CF(g, 1, 0.001)
+	l10 := CF(g, 10, 0.001)
+	if mse(l10) >= mse(l1) {
+		t.Fatalf("CF not converging: mse(10)=%g >= mse(1)=%g", mse(l10), mse(l1))
+	}
+}
+
+func TestQuickFromEdgesValid(t *testing.T) {
+	f := func(edges []uint16, nSeed uint8) bool {
+		n := int64(nSeed)%50 + 2
+		src := make([]int32, len(edges))
+		dst := make([]int32, len(edges))
+		for i, e := range edges {
+			src[i] = int32(int64(e) % n)
+			dst[i] = int32(int64(e/7) % n)
+		}
+		g := FromEdges(n, src, dst, nil)
+		return g.Validate() == nil && g.M() == int64(len(edges))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

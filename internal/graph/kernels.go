@@ -1,0 +1,198 @@
+package graph
+
+import "math"
+
+// Serial reference kernels for the six GraphIt-derived benchmarks. The
+// parallel versions in internal/workloads must match these exactly (the
+// kernels are written so iteration order does not affect the result).
+
+// PageRankDamping is the conventional damping factor.
+const PageRankDamping = 0.85
+
+// PageRank runs iters DensePull pagerank sweeps and returns the rank
+// vector. Dangling mass is ignored (as GraphIt's basic pr is written).
+func PageRank(g *Graph, iters int) []float64 {
+	rank := make([]float64, g.N)
+	contrib := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for v := range rank {
+		rank[v] = 1 / float64(g.N)
+	}
+	base := (1 - PageRankDamping) / float64(g.N)
+	for it := 0; it < iters; it++ {
+		for u := int64(0); u < g.N; u++ {
+			if g.OutDeg[u] > 0 {
+				contrib[u] = rank[u] / float64(g.OutDeg[u])
+			} else {
+				contrib[u] = 0
+			}
+		}
+		for v := int64(0); v < g.N; v++ {
+			var s float64
+			for p := g.InPtr[v]; p < g.InPtr[v+1]; p++ {
+				s += contrib[g.InAdj[p]]
+			}
+			next[v] = base + PageRankDamping*s
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// PageRankDelta runs delta-based pagerank: per sweep, only vertices whose
+// incoming delta mass exceeds epsilon·degree propagate. Returns the rank
+// vector after iters sweeps.
+func PageRankDelta(g *Graph, iters int, epsilon float64) []float64 {
+	rank := make([]float64, g.N)
+	delta := make([]float64, g.N)
+	contrib := make([]float64, g.N)
+	ndelta := make([]float64, g.N)
+	for v := range rank {
+		rank[v] = (1 - PageRankDamping) / float64(g.N)
+		delta[v] = rank[v]
+	}
+	for it := 0; it < iters; it++ {
+		for u := int64(0); u < g.N; u++ {
+			contrib[u] = 0
+			if g.OutDeg[u] > 0 && math.Abs(delta[u]) > epsilon/float64(g.N) {
+				contrib[u] = PageRankDamping * delta[u] / float64(g.OutDeg[u])
+			}
+		}
+		for v := int64(0); v < g.N; v++ {
+			var s float64
+			for p := g.InPtr[v]; p < g.InPtr[v+1]; p++ {
+				s += contrib[g.InAdj[p]]
+			}
+			ndelta[v] = s
+			rank[v] += s
+		}
+		delta, ndelta = ndelta, delta
+	}
+	return rank
+}
+
+// BFS runs level-synchronous DensePull breadth-first search from src over
+// the in-edge structure (an edge u→v lets the frontier spread from u to v)
+// and returns per-vertex levels (-1 for unreachable).
+func BFS(g *Graph, src int64) []int32 {
+	level := make([]int32, g.N)
+	for v := range level {
+		level[v] = -1
+	}
+	level[src] = 0
+	cur := int32(0)
+	for {
+		advanced := false
+		for v := int64(0); v < g.N; v++ {
+			if level[v] != -1 {
+				continue
+			}
+			for p := g.InPtr[v]; p < g.InPtr[v+1]; p++ {
+				if level[g.InAdj[p]] == cur {
+					level[v] = cur + 1
+					advanced = true
+					break
+				}
+			}
+		}
+		if !advanced {
+			return level
+		}
+		cur++
+	}
+}
+
+// CC runs label-propagation connected components (treating edges as
+// undirected is the caller's choice of graph build; this propagates along
+// in-edges) until a fixed point and returns the component labels.
+func CC(g *Graph) []int32 {
+	label := make([]int32, g.N)
+	for v := range label {
+		label[v] = int32(v)
+	}
+	for changedAny := true; changedAny; {
+		changedAny = false
+		for v := int64(0); v < g.N; v++ {
+			m := label[v]
+			for p := g.InPtr[v]; p < g.InPtr[v+1]; p++ {
+				if l := label[g.InAdj[p]]; l < m {
+					m = l
+				}
+			}
+			if m < label[v] {
+				label[v] = m
+				changedAny = true
+			}
+		}
+	}
+	return label
+}
+
+// Inf is the SSSP distance for unreachable vertices.
+const Inf = math.MaxFloat64
+
+// SSSP runs Bellman-Ford rounds in DensePull form from src and returns
+// shortest distances along in-edges (u→v relaxes dist[v] via dist[u]+w).
+func SSSP(g *Graph, src int64) []float64 {
+	dist := make([]float64, g.N)
+	for v := range dist {
+		dist[v] = Inf
+	}
+	dist[src] = 0
+	for round := int64(0); round < g.N; round++ {
+		changed := false
+		for v := int64(0); v < g.N; v++ {
+			d := dist[v]
+			for p := g.InPtr[v]; p < g.InPtr[v+1]; p++ {
+				if du := dist[g.InAdj[p]]; du != Inf && du+g.InW[p] < d {
+					d = du + g.InW[p]
+				}
+			}
+			if d < dist[v] {
+				dist[v] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// CFK is the latent-factor dimensionality of the cf benchmark.
+const CFK = 8
+
+// CF runs iters sweeps of pull-style collaborative filtering (a Jacobi
+// gradient step of matrix factorization): each vertex refreshes its latent
+// vector from its in-neighbors' vectors and edge ratings. Returns the
+// flattened N×CFK latent matrix.
+func CF(g *Graph, iters int, step float64) []float64 {
+	lat := make([]float64, g.N*CFK)
+	for i := range lat {
+		lat[i] = 0.5 + float64(i%7)/14
+	}
+	next := make([]float64, g.N*CFK)
+	for it := 0; it < iters; it++ {
+		for v := int64(0); v < g.N; v++ {
+			var grad [CFK]float64
+			base := v * CFK
+			for p := g.InPtr[v]; p < g.InPtr[v+1]; p++ {
+				u := int64(g.InAdj[p]) * CFK
+				var est float64
+				for k := int64(0); k < CFK; k++ {
+					est += lat[base+k] * lat[u+k]
+				}
+				err := g.InW[p] - est
+				for k := int64(0); k < CFK; k++ {
+					grad[k] += err * lat[u+k]
+				}
+			}
+			for k := int64(0); k < CFK; k++ {
+				next[base+k] = lat[base+k] + step*grad[k]
+			}
+		}
+		lat, next = next, lat
+	}
+	return lat
+}

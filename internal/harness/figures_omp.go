@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"hbc/internal/omp"
+	"hbc/internal/stats"
+	"hbc/internal/workloads"
+)
+
+func init() {
+	registerFigure(14, "OpenMP dynamic-schedule chunk-size sensitivity", fig14)
+	registerFigure(15, "OpenMP: outermost loop only vs all DOALL loops", fig15)
+}
+
+// manualIrregular returns the manually-annotated irregular benchmarks the
+// paper sweeps in §6.7 (mandelbrot, spmv-arrowhead, spmv-powerlaw,
+// mandelbulb, cg).
+func manualIrregular() []string {
+	var out []string
+	for _, name := range workloads.ManualSet() {
+		w, _ := workloads.New(name)
+		if !w.Info().Regular {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// fig14 sweeps the dynamic schedule's chunk size on the manually-annotated
+// irregular benchmarks: larger chunks unbalance irregular loops and degrade
+// all of them except cg.
+func fig14(cfg Config) (*stats.Table, error) {
+	chunks := []int64{1, 2, 4, 8, 16, 32}
+	headers := []string{"benchmark"}
+	for _, c := range chunks {
+		headers = append(headers, fmt.Sprintf("chunk-%d", c))
+	}
+	tb := stats.NewTable("Figure 14: OpenMP dynamic speedup over serial by chunk size", headers...)
+	pool := omp.NewPool(cfg.Workers)
+	defer pool.Close()
+	for _, name := range manualIrregular() {
+		cfg.logf("fig14: %s\n", name)
+		w, err := prepared(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		serial, err := measureSerial(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for _, c := range chunks {
+			d, err := measureOMP(cfg, w, pool, workloads.OMPConfig{Sched: omp.Dynamic, Chunk: c})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Speedup(serial, d))
+		}
+		tb.Row(row...)
+	}
+	return tb, nil
+}
+
+// fig15 compares the authors' recommended practice (parallelize only the
+// outermost DOALL loop) against exposing every DOALL loop to the OpenMP
+// runtime, which spawns a fresh nested team per inner region and collapses.
+// The nested run executes once (not cfg.Runs times) with a wall-clock
+// budget standing in for the paper's two-hour DNF cutoff.
+func fig15(cfg Config) (*stats.Table, error) {
+	tb := stats.NewTable("Figure 15: OpenMP outermost-only vs all-DOALL, speedup over serial",
+		"benchmark", "outermost-only", "all-doall", "slowdown")
+	pool := omp.NewPool(cfg.Workers)
+	defer pool.Close()
+	budget := 120 * time.Second
+	for _, name := range manualIrregular() {
+		cfg.logf("fig15: %s\n", name)
+		w, err := prepared(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		serial, err := measureSerial(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		outer, err := measureOMP(cfg, w, pool, workloads.OMPConfig{Sched: omp.Dynamic, Chunk: 1})
+		if err != nil {
+			return nil, err
+		}
+		// One nested run, under a budget: its per-row team spawns are the
+		// measurement, and the paper's DNFs tell us not to wait long.
+		done := make(chan time.Duration, 1)
+		go func() {
+			t0 := time.Now()
+			w.OMP(pool, workloads.OMPConfig{Sched: omp.Dynamic, Chunk: 1, Nested: true})
+			done <- time.Since(t0)
+		}()
+		var nested time.Duration
+		dnf := false
+		select {
+		case nested = <-done:
+		case <-time.After(budget):
+			dnf = true
+			// The goroutine finishes eventually; the pool is reused only
+			// after it drains.
+			nested = <-done
+		}
+		so := stats.Speedup(serial, outer)
+		if dnf {
+			tb.Row(name, so, "DNF", "-")
+			continue
+		}
+		sn := stats.Speedup(serial, nested)
+		tb.Row(name, so, sn, so/sn)
+	}
+	return tb, nil
+}

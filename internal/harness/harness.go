@@ -1,0 +1,196 @@
+// Package harness regenerates the paper's evaluation: one runner per table
+// or figure (Figs. 4–16), each producing a text table with the same rows and
+// series the paper plots. Absolute numbers are host-dependent; the
+// reproduction target is the shape (who wins, by what ratio, where the
+// crossover falls) — see EXPERIMENTS.md for the recorded comparison.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"hbc/internal/core"
+	"hbc/internal/omp"
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+	"hbc/internal/stats"
+	"hbc/internal/workloads"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Workers is the team/pool size. Defaults to runtime.NumCPU().
+	Workers int
+	// Runs is the number of timed repetitions per configuration; the
+	// median is reported (the paper uses 100; default here is 3, like the
+	// artifact's default).
+	Runs int
+	// Scale multiplies the default input sizes. Default 1.0.
+	Scale float64
+	// Heartbeat is the heartbeat period. Default 100µs.
+	Heartbeat time.Duration
+	// Verify checks every engine's output against the serial oracle.
+	Verify bool
+	// Out receives progress logging (nil discards).
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Runs <= 0 {
+		c.Runs = 3
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = core.DefaultHeartbeat
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+// Figure is one reproducible experiment.
+type Figure struct {
+	ID    int
+	Title string
+	Run   func(cfg Config) (*stats.Table, error)
+}
+
+var figures = map[int]Figure{}
+
+func registerFigure(id int, title string, run func(cfg Config) (*stats.Table, error)) {
+	figures[id] = Figure{ID: id, Title: title, Run: run}
+}
+
+// Figures lists all registered experiments in figure order.
+func Figures() []Figure {
+	ids := make([]int, 0, len(figures))
+	for id := range figures {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Figure, len(ids))
+	for i, id := range ids {
+		out[i] = figures[id]
+	}
+	return out
+}
+
+// Run executes the experiment for the given figure number.
+func Run(id int, cfg Config) (*stats.Table, error) {
+	f, ok := figures[id]
+	if !ok {
+		return nil, fmt.Errorf("harness: no experiment for figure %d", id)
+	}
+	return f.Run(cfg.withDefaults())
+}
+
+// --- measurement engines -----------------------------------------------------
+
+// timeIt measures fn cfg.Runs times after one untimed warmup run (first
+// runs pay page faults on freshly allocated inputs/outputs, which would
+// otherwise bias whichever engine measures first) and returns the median.
+func timeIt(cfg Config, fn func()) time.Duration {
+	fn()
+	ds := make([]time.Duration, cfg.Runs)
+	for i := range ds {
+		t0 := time.Now()
+		fn()
+		ds[i] = time.Since(t0)
+	}
+	return stats.Median(ds)
+}
+
+// measureSerial times the reference implementation.
+func measureSerial(cfg Config, w workloads.Workload) (time.Duration, error) {
+	d := timeIt(cfg, w.Serial)
+	if cfg.Verify {
+		if err := w.Verify(); err != nil {
+			return 0, err
+		}
+	}
+	return d, nil
+}
+
+// measureOMP times the baseline under the given schedule.
+func measureOMP(cfg Config, w workloads.Workload, pool *omp.Pool, oc workloads.OMPConfig) (time.Duration, error) {
+	d := timeIt(cfg, func() { w.OMP(pool, oc) })
+	if cfg.Verify {
+		if err := w.Verify(); err != nil {
+			return 0, err
+		}
+	}
+	return d, nil
+}
+
+// hbcSession holds a bound HBC driver for repeated timed runs.
+type hbcSession struct {
+	team *sched.Team
+	drv  *workloads.Driver
+	w    workloads.Workload
+}
+
+// newHBCSession binds the workload on a fresh team with the given source
+// and options.
+func newHBCSession(cfg Config, w workloads.Workload, src pulse.Source, opts core.Options) (*hbcSession, error) {
+	team := sched.NewTeam(cfg.Workers)
+	drv := workloads.NewDriver(team, src, cfg.Heartbeat, opts)
+	if err := w.BindHBC(drv); err != nil {
+		drv.Close()
+		team.Close()
+		return nil, err
+	}
+	return &hbcSession{team: team, drv: drv, w: w}, nil
+}
+
+func (s *hbcSession) close() {
+	s.drv.Close()
+	s.team.Close()
+}
+
+// measure times RunHBC under this session.
+func (s *hbcSession) measure(cfg Config) (time.Duration, error) {
+	d := timeIt(cfg, func() { s.w.RunHBC(s.drv) })
+	if cfg.Verify {
+		if err := s.w.Verify(); err != nil {
+			return 0, err
+		}
+	}
+	return d, nil
+}
+
+// measureHBC is the one-shot convenience: bind, time, close.
+func measureHBC(cfg Config, w workloads.Workload, src pulse.Source, opts core.Options) (time.Duration, error) {
+	s, err := newHBCSession(cfg, w, src, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+	return s.measure(cfg)
+}
+
+// prepared loads and prepares a workload.
+func prepared(cfg Config, name string) (workloads.Workload, error) {
+	w, err := workloads.New(name)
+	if err != nil {
+		return nil, err
+	}
+	w.Prepare(cfg.Scale)
+	return w, nil
+}
+
+// overheadPct returns (t-base)/base in percent.
+func overheadPct(base, t time.Duration) float64 {
+	return 100 * (float64(t) - float64(base)) / float64(base)
+}

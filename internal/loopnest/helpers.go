@@ -1,0 +1,65 @@
+package loopnest
+
+// FixedRange returns a Bounds over the constant range [lo, hi), independent
+// of the environment and enclosing indices.
+func FixedRange(lo, hi int64) Bounds {
+	return func(any, []int64) (int64, int64) { return lo, hi }
+}
+
+// RangeN returns a Bounds over [0, n).
+func RangeN(n int64) Bounds { return FixedRange(0, n) }
+
+// SumFloat64 returns a Reduction accumulating into a *float64.
+func SumFloat64() *Reduction {
+	return &Reduction{
+		Fresh: func() any { return new(float64) },
+		Reset: func(acc any) { *acc.(*float64) = 0 },
+		Merge: func(into, from any) { *into.(*float64) += *from.(*float64) },
+	}
+}
+
+// SumInt64 returns a Reduction accumulating into a *int64.
+func SumInt64() *Reduction {
+	return &Reduction{
+		Fresh: func() any { return new(int64) },
+		Reset: func(acc any) { *acc.(*int64) = 0 },
+		Merge: func(into, from any) { *into.(*int64) += *from.(*int64) },
+	}
+}
+
+// VecSumFloat64 returns a Reduction accumulating element-wise into a
+// []float64 of length n — the array-reduction pattern of kmeans, which HBC
+// parallelizes and OpenMP's baseline serializes (paper §6.8).
+func VecSumFloat64(n int) *Reduction {
+	return &Reduction{
+		Fresh: func() any { return make([]float64, n) },
+		Reset: func(acc any) {
+			v := acc.([]float64)
+			for i := range v {
+				v[i] = 0
+			}
+		},
+		Merge: func(into, from any) {
+			a, b := into.([]float64), from.([]float64)
+			for i := range a {
+				a[i] += b[i]
+			}
+		},
+	}
+}
+
+// MaxInt64 returns a Reduction keeping the maximum in a *int64. The identity
+// is the smallest int64.
+func MaxInt64() *Reduction {
+	const minInt64 = -1 << 63
+	return &Reduction{
+		Fresh: func() any { v := new(int64); *v = minInt64; return v },
+		Reset: func(acc any) { *acc.(*int64) = minInt64 },
+		Merge: func(into, from any) {
+			a, b := into.(*int64), from.(*int64)
+			if *b > *a {
+				*a = *b
+			}
+		},
+	}
+}

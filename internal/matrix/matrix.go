@@ -1,0 +1,223 @@
+// Package matrix provides compressed sparse-row matrices, the synthetic
+// generators behind the paper's spmv benchmarks, and serial reference
+// kernels.
+//
+// The paper's spmv inputs are themselves synthetic (generated with TPAL's
+// matrix generator): arrowhead, power-law, and uniform-random patterns.
+// cage15 — the one real-world matrix, used by the cg benchmark — is a DNA
+// electrophoresis matrix from the SuiteSparse collection (a 40 GB download
+// gate); CageLike substitutes a banded matrix with the same qualitative
+// structure (a regular band plus off-band couplings), which preserves the
+// irregular inner-loop trip counts that make cg's workload input-sensitive.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse-row format, the layout of the
+// paper's running example (Fig. 1).
+type CSR struct {
+	Rows, Cols int64
+	// RowPtr has Rows+1 entries; row i's nonzeros live at [RowPtr[i],
+	// RowPtr[i+1]) in ColInd and Val.
+	RowPtr []int64
+	ColInd []int32
+	Val    []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int64 { return int64(len(m.Val)) }
+
+// RowNNZ returns the number of nonzeros in row i.
+func (m *CSR) RowNNZ(i int64) int64 { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// Validate checks the CSR structural invariants.
+func (m *CSR) Validate() error {
+	if int64(len(m.RowPtr)) != m.Rows+1 {
+		return fmt.Errorf("matrix: RowPtr len %d != Rows+1 %d", len(m.RowPtr), m.Rows+1)
+	}
+	if len(m.ColInd) != len(m.Val) {
+		return fmt.Errorf("matrix: ColInd len %d != Val len %d", len(m.ColInd), len(m.Val))
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != m.NNZ() {
+		return fmt.Errorf("matrix: RowPtr endpoints %d..%d, want 0..%d", m.RowPtr[0], m.RowPtr[m.Rows], m.NNZ())
+	}
+	for i := int64(0); i < m.Rows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("matrix: RowPtr not monotone at row %d", i)
+		}
+	}
+	for _, c := range m.ColInd {
+		if int64(c) < 0 || int64(c) >= m.Cols {
+			return fmt.Errorf("matrix: column index %d out of range [0,%d)", c, m.Cols)
+		}
+	}
+	return nil
+}
+
+// SpMV computes out = m·in serially — the reference kernel.
+func (m *CSR) SpMV(in, out []float64) {
+	for i := int64(0); i < m.Rows; i++ {
+		var s float64
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			s += m.Val[j] * in[m.ColInd[j]]
+		}
+		out[i] = s
+	}
+}
+
+// MaxRowNNZ returns the largest row length, a quick irregularity indicator.
+func (m *CSR) MaxRowNNZ() int64 {
+	var mx int64
+	for i := int64(0); i < m.Rows; i++ {
+		if n := m.RowNNZ(i); n > mx {
+			mx = n
+		}
+	}
+	return mx
+}
+
+// fromRows assembles a CSR from per-row (col, val) pairs, sorting and
+// deduplicating columns within each row (last write wins).
+func fromRows(n int64, rows [][]int32, val func(i int64, c int32) float64) *CSR {
+	m := &CSR{Rows: n, Cols: n, RowPtr: make([]int64, n+1)}
+	for i := int64(0); i < n; i++ {
+		cols := rows[i]
+		sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+		prev := int32(-1)
+		for _, c := range cols {
+			if c == prev {
+				continue
+			}
+			prev = c
+			m.ColInd = append(m.ColInd, c)
+			m.Val = append(m.Val, val(i, c))
+		}
+		m.RowPtr[i+1] = int64(len(m.Val))
+	}
+	return m
+}
+
+// Arrowhead builds the paper's challenge input: an n×n matrix whose first
+// row, first column, and diagonal are all nonzero. Row 0 holds half the
+// matrix's nonzeros, so a static outer-loop partition is maximally
+// unbalanced — the workload that motivates promoting inner-loop parallelism.
+func Arrowhead(n int64) *CSR {
+	m := &CSR{Rows: n, Cols: n, RowPtr: make([]int64, n+1)}
+	nnz := 3*n - 2
+	m.ColInd = make([]int32, 0, nnz)
+	m.Val = make([]float64, 0, nnz)
+	// Row 0: all columns.
+	for c := int64(0); c < n; c++ {
+		m.ColInd = append(m.ColInd, int32(c))
+		m.Val = append(m.Val, 1)
+	}
+	m.RowPtr[1] = int64(len(m.Val))
+	// Rows 1..n-1: first column and diagonal.
+	for i := int64(1); i < n; i++ {
+		m.ColInd = append(m.ColInd, 0, int32(i))
+		m.Val = append(m.Val, 1, 1)
+		m.RowPtr[i+1] = int64(len(m.Val))
+	}
+	return m
+}
+
+// PowerLaw builds an n×n matrix whose row lengths follow a power-law
+// distribution with exponent alpha (TPAL's generator uses the same shape):
+// row i has about maxLen/(i+1)^alpha nonzeros, descending, so the heavy rows
+// come first. Column positions are uniform random under seed.
+func PowerLaw(n, maxLen int64, alpha float64, seed int64) *CSR {
+	return powerLaw(n, maxLen, alpha, seed, false)
+}
+
+// PowerLawReverse is PowerLaw with the heavy rows last — the mirrored input
+// of Fig. 12.
+func PowerLawReverse(n, maxLen int64, alpha float64, seed int64) *CSR {
+	return powerLaw(n, maxLen, alpha, seed, true)
+}
+
+func powerLaw(n, maxLen int64, alpha float64, seed int64, reverse bool) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]int32, n)
+	for i := int64(0); i < n; i++ {
+		rank := i
+		if reverse {
+			rank = n - 1 - i
+		}
+		ln := int64(float64(maxLen) / math.Pow(float64(rank+1), alpha))
+		if ln < 1 {
+			ln = 1
+		}
+		if ln > n {
+			ln = n
+		}
+		cols := make([]int32, ln)
+		for k := range cols {
+			cols[k] = int32(rng.Int63n(n))
+		}
+		rows[i] = cols
+	}
+	return fromRows(n, rows, func(i int64, c int32) float64 {
+		return 1 + float64((int64(c)+i)%7)/7
+	})
+}
+
+// Random builds an n×n matrix with exactly nnzPerRow uniform-random
+// nonzeros in every row — the paper's regular spmv input.
+func Random(n, nnzPerRow, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]int32, n)
+	for i := int64(0); i < n; i++ {
+		cols := make([]int32, nnzPerRow)
+		for k := range cols {
+			cols[k] = int32(rng.Int63n(n))
+		}
+		rows[i] = cols
+	}
+	return fromRows(n, rows, func(i int64, c int32) float64 {
+		return 1 + float64((int64(c)*3+i)%11)/11
+	})
+}
+
+// CageLike builds a symmetric positive-definite-style banded matrix with
+// random off-band couplings, standing in for the cage15 DNA-electrophoresis
+// matrix: a strong diagonal, a regular band of width band, and extra
+// irregular entries whose count varies per row. Symmetric structure with a
+// dominant diagonal keeps conjugate gradient convergent.
+func CageLike(n, band, extras, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]int32, n)
+	add := func(i, j int64) {
+		rows[i] = append(rows[i], int32(j))
+		rows[j] = append(rows[j], int32(i))
+	}
+	for i := int64(0); i < n; i++ {
+		rows[i] = append(rows[i], int32(i))
+		for b := int64(1); b <= band; b++ {
+			if i+b < n {
+				add(i, i+b)
+			}
+		}
+	}
+	// Irregular extras: vertex i gets extras/(1+i%17) random couplings.
+	for i := int64(0); i < n; i++ {
+		k := extras / (1 + i%17)
+		for e := int64(0); e < k; e++ {
+			j := rng.Int63n(n)
+			if j != i {
+				add(i, j)
+			}
+		}
+	}
+	return fromRows(n, rows, func(i int64, c int32) float64 {
+		if int64(c) == i {
+			// Diagonal dominance: larger than the sum of off-diagonals.
+			return float64(2*(band+extras)) + 4
+		}
+		return -1
+	})
+}

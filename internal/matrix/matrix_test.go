@@ -1,0 +1,164 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validate(t *testing.T, m *CSR, label string) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+}
+
+func TestArrowheadShape(t *testing.T) {
+	m := Arrowhead(100)
+	validate(t, m, "arrowhead")
+	if m.NNZ() != 3*100-2 {
+		t.Fatalf("nnz = %d, want 298", m.NNZ())
+	}
+	if m.RowNNZ(0) != 100 {
+		t.Fatalf("row 0 nnz = %d, want 100", m.RowNNZ(0))
+	}
+	for i := int64(1); i < 100; i++ {
+		if m.RowNNZ(i) != 2 {
+			t.Fatalf("row %d nnz = %d, want 2", i, m.RowNNZ(i))
+		}
+	}
+	// First column is nonzero in every row.
+	for i := int64(1); i < 100; i++ {
+		if m.ColInd[m.RowPtr[i]] != 0 {
+			t.Fatalf("row %d first col = %d, want 0", i, m.ColInd[m.RowPtr[i]])
+		}
+	}
+}
+
+func TestPowerLawDescendingRows(t *testing.T) {
+	m := PowerLaw(500, 400, 0.7, 1)
+	validate(t, m, "powerlaw")
+	if m.RowNNZ(0) <= m.RowNNZ(499) {
+		t.Fatalf("powerlaw not descending: row0=%d rowN=%d", m.RowNNZ(0), m.RowNNZ(499))
+	}
+	r := PowerLawReverse(500, 400, 0.7, 1)
+	validate(t, r, "powerlaw-reverse")
+	if r.RowNNZ(0) >= r.RowNNZ(499) {
+		t.Fatalf("powerlaw-reverse not ascending: row0=%d rowN=%d", r.RowNNZ(0), r.RowNNZ(499))
+	}
+}
+
+func TestRandomUniformRows(t *testing.T) {
+	m := Random(300, 8, 7)
+	validate(t, m, "random")
+	for i := int64(0); i < m.Rows; i++ {
+		// Duplicates are merged, so rows have at most 8 and nearly always 8.
+		if n := m.RowNNZ(i); n < 5 || n > 8 {
+			t.Fatalf("row %d nnz = %d, want ~8", i, n)
+		}
+	}
+}
+
+func TestCageLikeSymmetricSPD(t *testing.T) {
+	m := CageLike(200, 2, 6, 3)
+	validate(t, m, "cage")
+	// Symmetric pattern: entry (i,j) implies (j,i).
+	type key struct{ i, j int32 }
+	set := map[key]bool{}
+	for i := int64(0); i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			set[key{int32(i), m.ColInd[p]}] = true
+		}
+	}
+	for k := range set {
+		if !set[key{k.j, k.i}] {
+			t.Fatalf("asymmetric pattern at (%d,%d)", k.i, k.j)
+		}
+	}
+	// Diagonal dominance.
+	for i := int64(0); i < m.Rows; i++ {
+		var diag, off float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if int64(m.ColInd[p]) == i {
+				diag = m.Val[p]
+			} else {
+				off += math.Abs(m.Val[p])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not diagonally dominant: %g <= %g", i, diag, off)
+		}
+	}
+}
+
+func TestSpMVAgainstDense(t *testing.T) {
+	m := Random(40, 5, 11)
+	in := make([]float64, 40)
+	for i := range in {
+		in[i] = float64(i%7) + 0.5
+	}
+	// Dense reference.
+	dense := make([][]float64, 40)
+	for i := range dense {
+		dense[i] = make([]float64, 40)
+	}
+	for i := int64(0); i < 40; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			dense[i][m.ColInd[p]] = m.Val[p]
+		}
+	}
+	want := make([]float64, 40)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			want[i] += dense[i][j] * in[j]
+		}
+	}
+	got := make([]float64, 40)
+	m.SpMV(in, got)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("SpMV[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := PowerLaw(100, 50, 0.8, 42)
+	b := PowerLaw(100, 50, 0.8, 42)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("powerlaw not deterministic")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.ColInd[i] != b.ColInd[i] {
+			t.Fatal("powerlaw not deterministic")
+		}
+	}
+}
+
+func TestQuickGeneratorsValid(t *testing.T) {
+	f := func(nSeed, seed uint8, kind uint8) bool {
+		n := int64(nSeed)%200 + 10
+		var m *CSR
+		switch kind % 4 {
+		case 0:
+			m = Arrowhead(n)
+		case 1:
+			m = PowerLaw(n, n/2+1, 0.9, int64(seed))
+		case 2:
+			m = Random(n, int64(seed)%6+1, int64(seed))
+		default:
+			m = CageLike(n, 2, 4, int64(seed))
+		}
+		return m.Validate() == nil && m.NNZ() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRowNNZ(t *testing.T) {
+	m := Arrowhead(64)
+	if got := m.MaxRowNNZ(); got != 64 {
+		t.Fatalf("MaxRowNNZ = %d, want 64", got)
+	}
+}

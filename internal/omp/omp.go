@@ -1,0 +1,278 @@
+// Package omp is the conventional OpenMP-style runtime used as the paper's
+// baseline: a persistent thread pool executing parallel-for regions under
+// the static, dynamic, and guided schedules, with a barrier at the end of
+// every region (the fork-join contract of `#pragma omp parallel for`).
+//
+// Granularity control is entirely the caller's problem — exactly the
+// situation the paper's introduction describes: the schedule kind and chunk
+// size are per-loop decisions the programmer must tune, and a wrong choice
+// either floods the system with task bookkeeping or starves it of
+// parallelism. Nested regions (omp_set_max_active_levels > 1) spawn a fresh
+// goroutine team per inner region, reproducing the resource blow-up the
+// paper measures when all DOALL loops are annotated (Fig. 15).
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule is an OpenMP loop schedule kind.
+type Schedule int
+
+const (
+	// Static divides [lo, hi) into one contiguous block per thread
+	// (schedule(static)), or round-robin chunks when a chunk size is given.
+	Static Schedule = iota
+	// Dynamic hands out chunks from a shared counter on demand
+	// (schedule(dynamic, chunk)); default chunk is 1.
+	Dynamic
+	// Guided hands out geometrically shrinking chunks, never below the
+	// given chunk size (schedule(guided, chunk)).
+	Guided
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return "static"
+	}
+}
+
+// region is one parallel-for instance shared by the team.
+type region struct {
+	sched Schedule
+	lo    int64
+	hi    int64
+	chunk int64
+	body  func(lo, hi int64)
+	// rbody/partial implement reduction regions: each thread privately
+	// accumulates rbody's results and deposits the partial in its slot.
+	rbody   func(lo, hi int64) float64
+	partial []float64
+	next    atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// Pool is a persistent team of worker goroutines, the analog of the OpenMP
+// runtime's thread pool.
+type Pool struct {
+	n      int
+	cmds   []chan *region
+	closed bool
+}
+
+// NewPool starts a pool with n workers (minimum 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{n: n, cmds: make([]chan *region, n)}
+	for i := 0; i < n; i++ {
+		p.cmds[i] = make(chan *region, 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.n }
+
+// Close shuts the pool down. No region may be in flight.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, c := range p.cmds {
+		close(c)
+	}
+}
+
+func (p *Pool) worker(tid int) {
+	for r := range p.cmds[tid] {
+		if r.rbody != nil {
+			var s float64
+			runRegionBody(r, tid, p.n, func(a, b int64) { s += r.rbody(a, b) })
+			r.partial[tid] = s
+		} else {
+			runRegion(r, tid, p.n)
+		}
+		r.wg.Done()
+	}
+}
+
+// runRegion executes thread tid's share of the region under its schedule.
+func runRegion(r *region, tid, nthreads int) { runRegionBody(r, tid, nthreads, r.body) }
+
+// runRegionBody is runRegion with an explicit body, letting nested
+// reductions give each thread a private accumulator while sharing the
+// region's chunk counter.
+func runRegionBody(r *region, tid, nthreads int, body func(lo, hi int64)) {
+	total := r.hi - r.lo
+	if total <= 0 {
+		return
+	}
+	switch r.sched {
+	case Static:
+		if r.chunk <= 0 {
+			// One contiguous block per thread.
+			per := (total + int64(nthreads) - 1) / int64(nthreads)
+			lo := r.lo + int64(tid)*per
+			hi := lo + per
+			if hi > r.hi {
+				hi = r.hi
+			}
+			if lo < hi {
+				body(lo, hi)
+			}
+			return
+		}
+		// Round-robin chunks of the given size.
+		stride := r.chunk * int64(nthreads)
+		for lo := r.lo + int64(tid)*r.chunk; lo < r.hi; lo += stride {
+			hi := lo + r.chunk
+			if hi > r.hi {
+				hi = r.hi
+			}
+			body(lo, hi)
+		}
+	case Dynamic:
+		chunk := r.chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		for {
+			lo := r.lo + r.next.Add(chunk) - chunk
+			if lo >= r.hi {
+				return
+			}
+			hi := lo + chunk
+			if hi > r.hi {
+				hi = r.hi
+			}
+			body(lo, hi)
+		}
+	case Guided:
+		min := r.chunk
+		if min <= 0 {
+			min = 1
+		}
+		for {
+			done := r.next.Load()
+			left := total - done
+			if left <= 0 {
+				return
+			}
+			grab := left / int64(2*nthreads)
+			if grab < min {
+				grab = min
+			}
+			if !r.next.CompareAndSwap(done, done+grab) {
+				continue
+			}
+			lo := r.lo + done
+			hi := lo + grab
+			if hi > r.hi {
+				hi = r.hi
+			}
+			body(lo, hi)
+		}
+	}
+}
+
+// For runs a parallel-for region over [lo, hi) with the given schedule and
+// chunk size on the pool, blocking until the closing barrier.
+func (p *Pool) For(sched Schedule, lo, hi, chunk int64, body func(lo, hi int64)) {
+	r := &region{sched: sched, lo: lo, hi: hi, chunk: chunk, body: body}
+	r.wg.Add(p.n)
+	for _, c := range p.cmds {
+		c <- r
+	}
+	r.wg.Wait()
+}
+
+// ForStatic is For with the static schedule (block partitioning when chunk
+// is 0).
+func (p *Pool) ForStatic(lo, hi, chunk int64, body func(lo, hi int64)) {
+	p.For(Static, lo, hi, chunk, body)
+}
+
+// ForDynamic is For with the dynamic schedule (chunk 0 means the OpenMP
+// default of 1).
+func (p *Pool) ForDynamic(lo, hi, chunk int64, body func(lo, hi int64)) {
+	p.For(Dynamic, lo, hi, chunk, body)
+}
+
+// ForGuided is For with the guided schedule.
+func (p *Pool) ForGuided(lo, hi, chunk int64, body func(lo, hi int64)) {
+	p.For(Guided, lo, hi, chunk, body)
+}
+
+// ForReduce runs a reducing parallel-for: each thread accumulates body's
+// partial sums privately and the partials are combined after the barrier,
+// matching an OpenMP `reduction(+:x)` clause.
+func (p *Pool) ForReduce(sched Schedule, lo, hi, chunk int64, body func(lo, hi int64) float64) float64 {
+	r := &region{sched: sched, lo: lo, hi: hi, chunk: chunk, rbody: body, partial: make([]float64, p.n)}
+	r.wg.Add(p.n)
+	for _, c := range p.cmds {
+		c <- r
+	}
+	r.wg.Wait()
+	var total float64
+	for _, v := range r.partial {
+		total += v
+	}
+	return total
+}
+
+// NestedFor runs a parallel-for as an inner nested region: a fresh team of
+// nthreads goroutines is spawned for this region alone, as the OpenMP
+// runtime does when nested parallelism is enabled. This is the mechanism
+// whose cost Fig. 15 measures — calling it once per outer iteration creates
+// outer×nthreads short-lived threads.
+func NestedFor(nthreads int, sched Schedule, lo, hi, chunk int64, body func(lo, hi int64)) {
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	r := &region{sched: sched, lo: lo, hi: hi, chunk: chunk, body: body}
+	r.wg.Add(nthreads)
+	for tid := 0; tid < nthreads; tid++ {
+		go func(tid int) {
+			defer r.wg.Done()
+			runRegion(r, tid, nthreads)
+		}(tid)
+	}
+	r.wg.Wait()
+}
+
+// NestedForReduce is NestedFor for loops with a scalar float64 reduction:
+// each spawned thread privately accumulates the body's partial sums over
+// its share and the partials are combined after the barrier — the cost
+// structure of an OpenMP `reduction(+:x)` clause on a nested region.
+func NestedForReduce(nthreads int, sched Schedule, lo, hi, chunk int64, body func(lo, hi int64) float64) float64 {
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	partial := make([]float64, nthreads)
+	var wg sync.WaitGroup
+	r := &region{sched: sched, lo: lo, hi: hi, chunk: chunk}
+	wg.Add(nthreads)
+	for tid := 0; tid < nthreads; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			s := &partial[tid]
+			runRegionBody(r, tid, nthreads, func(a, b int64) { *s += body(a, b) })
+		}(tid)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}

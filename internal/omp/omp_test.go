@@ -1,0 +1,161 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func coverage(t *testing.T, n int64, run func(body func(lo, hi int64))) {
+	t.Helper()
+	marks := make([]int32, n)
+	run(func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&marks[i], 1)
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times", i, m)
+		}
+	}
+}
+
+func TestStaticBlocks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	coverage(t, 1003, func(body func(lo, hi int64)) { p.ForStatic(0, 1003, 0, body) })
+}
+
+func TestStaticRoundRobin(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	coverage(t, 1000, func(body func(lo, hi int64)) { p.ForStatic(0, 1000, 7, body) })
+}
+
+func TestDynamic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, chunk := range []int64{0, 1, 3, 64, 5000} {
+		coverage(t, 2001, func(body func(lo, hi int64)) { p.ForDynamic(0, 2001, chunk, body) })
+	}
+}
+
+func TestGuided(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, chunk := range []int64{0, 1, 16} {
+		coverage(t, 3000, func(body func(lo, hi int64)) { p.ForGuided(0, 3000, chunk, body) })
+	}
+}
+
+func TestNonZeroLowerBound(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var sum atomic.Int64
+	p.ForDynamic(100, 200, 7, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			sum.Add(i)
+		}
+	})
+	want := int64(0)
+	for i := int64(100); i < 200; i++ {
+		want += i
+	}
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestEmptyRegion(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	called := atomic.Bool{}
+	p.ForDynamic(5, 5, 1, func(lo, hi int64) { called.Store(true) })
+	p.ForStatic(9, 2, 0, func(lo, hi int64) { called.Store(true) })
+	if called.Load() {
+		t.Fatal("body called on empty region")
+	}
+}
+
+func TestNestedFor(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	const rows, cols = 20, 30
+	marks := make([]int32, rows*cols)
+	p.ForDynamic(0, rows, 1, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			i := i
+			NestedFor(2, Dynamic, 0, cols, 1, func(jlo, jhi int64) {
+				for j := jlo; j < jhi; j++ {
+					atomic.AddInt32(&marks[i*cols+j], 1)
+				}
+			})
+		}
+	})
+	for k, m := range marks {
+		if m != 1 {
+			t.Fatalf("cell %d visited %d times", k, m)
+		}
+	}
+}
+
+func TestQuickSchedulesCoverAnyRange(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	f := func(span uint16, chunk uint8, schedSel uint8) bool {
+		n := int64(span) % 4000
+		var count atomic.Int64
+		sched := Schedule(schedSel % 3)
+		p.For(sched, 0, n, int64(chunk%32), func(lo, hi int64) { count.Add(hi - lo) })
+		return count.Load() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleStrings(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Fatal("bad schedule names")
+	}
+}
+
+func BenchmarkDynamicChunk1(b *testing.B) {
+	p := NewPool(2)
+	defer p.Close()
+	for i := 0; i < b.N; i++ {
+		p.ForDynamic(0, 10000, 1, func(lo, hi int64) {})
+	}
+}
+
+func TestForReduce(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		got := p.ForReduce(sched, 0, 10000, 7, func(lo, hi int64) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			return s
+		})
+		want := float64(10000*9999) / 2
+		if got != want {
+			t.Fatalf("%v: ForReduce = %g, want %g", sched, got, want)
+		}
+	}
+}
+
+func TestNestedForReduce(t *testing.T) {
+	got := NestedForReduce(3, Dynamic, 5, 505, 4, func(lo, hi int64) float64 {
+		return float64(hi - lo)
+	})
+	if got != 500 {
+		t.Fatalf("NestedForReduce = %g, want 500", got)
+	}
+	// Empty range.
+	if v := NestedForReduce(2, Static, 9, 9, 0, func(lo, hi int64) float64 { return 1 }); v != 0 {
+		t.Fatalf("empty NestedForReduce = %g", v)
+	}
+}

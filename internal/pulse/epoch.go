@@ -1,0 +1,86 @@
+package pulse
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Epoch is a software-polling source where polls read a shared atomic epoch
+// counter bumped by a central ticker goroutine. A poll is therefore a single
+// atomic load (≈2 ns) — cheaper than a clock read — at the cost of one
+// helper goroutine and of inheriting the ticker's wakeup jitter. It sits
+// between Timer (pure polling) and the signaling sources (per-worker
+// delivery) in the design space.
+type Epoch struct {
+	epoch  atomic.Int64
+	beatAt atomic.Int64 // time of the latest beat, ns since attach
+	start  time.Time
+	period time.Duration
+	slots  []workerSlot
+	stop   chan struct{}
+	done   sync.WaitGroup
+}
+
+// NewEpoch returns an unattached Epoch source.
+func NewEpoch() *Epoch { return &Epoch{} }
+
+// Name implements Source.
+func (e *Epoch) Name() string { return "epoch-polling" }
+
+// Attach implements Source.
+func (e *Epoch) Attach(workers int, period time.Duration) {
+	e.period = period
+	e.start = time.Now()
+	e.beatAt.Store(0)
+	e.epoch.Store(0)
+	e.slots = make([]workerSlot, workers)
+	e.stop = make(chan struct{})
+	e.done.Add(1)
+	go e.tick()
+}
+
+func (e *Epoch) tick() {
+	defer e.done.Done()
+	tk := time.NewTicker(e.period)
+	defer tk.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-tk.C:
+			e.beatAt.Store(int64(time.Since(e.start)))
+			e.epoch.Add(1)
+		}
+	}
+}
+
+// Poll implements Source.
+func (e *Epoch) Poll(w int) int {
+	s := &e.slots[w]
+	atomic.AddInt64(&s.polls, 1)
+	cur := e.epoch.Load()
+	if cur == s.seen {
+		return 0
+	}
+	k := cur - s.seen
+	s.seen = cur // owner-only field; no atomics needed
+	recordLag(s, int64(time.Since(e.start))-e.beatAt.Load())
+	atomic.AddInt64(&s.detected, 1)
+	atomic.AddInt64(&s.missed, k-1)
+	return int(k)
+}
+
+// Detach implements Source.
+func (e *Epoch) Detach() {
+	if e.stop != nil {
+		close(e.stop)
+		e.done.Wait()
+		e.stop = nil
+	}
+}
+
+// Stats implements Source.
+func (e *Epoch) Stats() Stats {
+	return aggregate(e.slots, e.epoch.Load()*int64(len(e.slots)))
+}

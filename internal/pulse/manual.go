@@ -1,0 +1,81 @@
+package pulse
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Manual is a deterministic source for tests: beats arrive only when the
+// test fires them. It also serves failure injection — Always turns every
+// poll into a heartbeat (promotion at every possible point) and Never
+// suppresses promotion entirely, the two extremes the runtime must survive.
+type Manual struct {
+	slots []workerSlot
+	// Always makes every poll report one heartbeat.
+	Always bool
+	// EveryN, if > 0, makes every N'th poll of a worker report a heartbeat.
+	EveryN int64
+}
+
+// NewManual returns a Manual source that never fires on its own.
+func NewManual() *Manual { return &Manual{} }
+
+// NewAlways returns a source where every poll observes a heartbeat.
+func NewAlways() *Manual { return &Manual{Always: true} }
+
+// NewNever returns a source where no poll ever observes a heartbeat.
+func NewNever() *Manual { return &Manual{} }
+
+// NewEveryN returns a source firing deterministically every n polls.
+func NewEveryN(n int64) *Manual { return &Manual{EveryN: n} }
+
+// Name implements Source.
+func (m *Manual) Name() string { return "manual" }
+
+// Attach implements Source.
+func (m *Manual) Attach(workers int, _ time.Duration) {
+	m.slots = make([]workerSlot, workers)
+}
+
+// Fire delivers one heartbeat to worker w.
+func (m *Manual) Fire(w int) { atomic.AddInt64(&m.slots[w].pending, 1) }
+
+// FireAll delivers one heartbeat to every worker.
+func (m *Manual) FireAll() {
+	for i := range m.slots {
+		m.Fire(i)
+	}
+}
+
+// Poll implements Source.
+func (m *Manual) Poll(w int) int {
+	s := &m.slots[w]
+	polls := atomic.AddInt64(&s.polls, 1)
+	if m.Always {
+		atomic.AddInt64(&s.detected, 1)
+		return 1
+	}
+	if m.EveryN > 0 && polls%m.EveryN == 0 {
+		atomic.AddInt64(&s.detected, 1)
+		return 1
+	}
+	k := atomic.SwapInt64(&s.pending, 0)
+	if k == 0 {
+		return 0
+	}
+	atomic.AddInt64(&s.detected, 1)
+	atomic.AddInt64(&s.missed, k-1)
+	return int(k)
+}
+
+// Detach implements Source.
+func (m *Manual) Detach() {}
+
+// Stats implements Source.
+func (m *Manual) Stats() Stats {
+	var gen int64
+	for i := range m.slots {
+		gen += atomic.LoadInt64(&m.slots[i].detected) + atomic.LoadInt64(&m.slots[i].missed)
+	}
+	return aggregate(m.slots, gen)
+}

@@ -1,0 +1,126 @@
+package pulse
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Ping models TPAL's user-level interrupt mechanism: a dedicated "ping
+// thread" that, once per heartbeat period, injects a signal into every
+// worker. Two costs shape its behavior, both reproduced here:
+//
+//   - Signal injection is expensive (POSIX signal delivery is microseconds
+//     per target). The ping goroutine charges SignalCost of busy work per
+//     worker per beat, so with many workers or a short period it cannot
+//     sustain the configured rate and heartbeats are simply never sent —
+//     the paper reports up to 45% of beats missed this way.
+//
+//   - The sleep-based pacing inherits OS timer jitter, adding delivery
+//     latency on top.
+//
+// Workers observe delivery as a per-worker pending counter; a poll that
+// finds the counter non-zero consumes it.
+type Ping struct {
+	// SignalCost is the busy time charged per worker per beat by the ping
+	// goroutine, modeling signal-injection overhead. Defaults to 2µs.
+	SignalCost time.Duration
+
+	period time.Duration
+	start  time.Time
+	slots  []workerSlot
+	sent   atomic.Int64 // beats actually delivered (per-worker count summed)
+	ideal  atomic.Int64 // beats that should have been delivered
+	stop   chan struct{}
+	done   sync.WaitGroup
+}
+
+// NewPing returns an unattached Ping source with the default signal cost.
+func NewPing() *Ping { return &Ping{SignalCost: 2 * time.Microsecond} }
+
+// Name implements Source.
+func (p *Ping) Name() string { return "interrupt-ping" }
+
+// Attach implements Source.
+func (p *Ping) Attach(workers int, period time.Duration) {
+	p.period = period
+	p.start = time.Now()
+	p.slots = make([]workerSlot, workers)
+	p.sent.Store(0)
+	p.ideal.Store(0)
+	p.stop = make(chan struct{})
+	p.done.Add(1)
+	go p.run()
+}
+
+func (p *Ping) run() {
+	defer p.done.Done()
+	start := p.start
+	beats := int64(0)
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		// Sleep until the next period boundary; time.Sleep jitter models the
+		// latency of waking the ping thread.
+		time.Sleep(p.period)
+		// Deliver to each worker, paying the injection cost per target.
+		for i := range p.slots {
+			spin(p.SignalCost)
+			if atomic.AddInt64(&p.slots[i].pending, 1) == 1 {
+				atomic.StoreInt64(&p.slots[i].stamp, time.Since(start).Nanoseconds())
+			}
+			p.sent.Add(1)
+		}
+		beats++
+		// The ideal timeline keeps running while we were busy signaling.
+		p.ideal.Store(int64(time.Since(start)/p.period) * int64(len(p.slots)))
+	}
+}
+
+// Poll implements Source.
+func (p *Ping) Poll(w int) int {
+	s := &p.slots[w]
+	atomic.AddInt64(&s.polls, 1)
+	k := atomic.SwapInt64(&s.pending, 0)
+	if k == 0 {
+		return 0
+	}
+	recordLag(s, time.Since(p.start).Nanoseconds()-atomic.LoadInt64(&s.stamp))
+	atomic.AddInt64(&s.detected, 1)
+	atomic.AddInt64(&s.missed, k-1)
+	return int(k)
+}
+
+// Detach implements Source.
+func (p *Ping) Detach() {
+	if p.stop != nil {
+		close(p.stop)
+		p.done.Wait()
+		p.stop = nil
+	}
+}
+
+// Stats implements Source. Beats the ping thread failed to send on time
+// (ideal minus sent) count as missed, in addition to late detections.
+func (p *Ping) Stats() Stats {
+	st := aggregate(p.slots, p.ideal.Load())
+	if shortfall := p.ideal.Load() - p.sent.Load(); shortfall > 0 {
+		st.Missed += shortfall
+	}
+	return st
+}
+
+// spin busily burns approximately d of CPU time. Used to charge modeled
+// costs (signal injection, interrupt round trips) where the real mechanism
+// would burn comparable cycles.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}

@@ -1,0 +1,260 @@
+package pulse
+
+import (
+	"testing"
+	"time"
+)
+
+// pollUntil polls worker w until a beat is seen or the deadline passes.
+func pollUntil(t *testing.T, s Source, w int, deadline time.Duration) int {
+	t.Helper()
+	t0 := time.Now()
+	for time.Since(t0) < deadline {
+		if k := s.Poll(w); k > 0 {
+			return k
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	return 0
+}
+
+func TestTimerFiresAtRate(t *testing.T) {
+	s := NewTimer()
+	s.Attach(1, time.Millisecond)
+	defer s.Detach()
+	beats := 0
+	t0 := time.Now()
+	for time.Since(t0) < 20*time.Millisecond {
+		beats += s.Poll(0)
+	}
+	if beats < 15 || beats > 25 {
+		t.Fatalf("beats = %d over 20ms at 1ms period, want ≈20", beats)
+	}
+	st := s.Stats()
+	if st.Polls == 0 || st.Detected == 0 {
+		t.Fatalf("stats not accumulated: %v", st)
+	}
+}
+
+func TestTimerCountsMissedBeats(t *testing.T) {
+	s := NewTimer()
+	s.Attach(1, time.Millisecond)
+	defer s.Detach()
+	time.Sleep(5 * time.Millisecond) // let ~5 beats pass unobserved
+	k := s.Poll(0)
+	if k < 4 {
+		t.Fatalf("Poll after sleeping 5 periods = %d, want >= 4", k)
+	}
+	st := s.Stats()
+	if st.Missed < 3 {
+		t.Fatalf("Missed = %d, want >= 3", st.Missed)
+	}
+	if st.Detected != 1 {
+		t.Fatalf("Detected = %d, want 1", st.Detected)
+	}
+}
+
+func TestTimerPerWorkerIndependent(t *testing.T) {
+	s := NewTimer()
+	s.Attach(2, time.Millisecond)
+	defer s.Detach()
+	time.Sleep(2 * time.Millisecond)
+	if k := s.Poll(0); k == 0 {
+		t.Fatal("worker 0 should see a beat")
+	}
+	// Worker 1's timeline is untouched by worker 0's detection.
+	if k := s.Poll(1); k == 0 {
+		t.Fatal("worker 1 should see its own beat")
+	}
+}
+
+func TestEpochDelivers(t *testing.T) {
+	s := NewEpoch()
+	s.Attach(2, time.Millisecond)
+	defer s.Detach()
+	if k := pollUntil(t, s, 0, 100*time.Millisecond); k == 0 {
+		t.Fatal("epoch beat never observed on worker 0")
+	}
+	if k := pollUntil(t, s, 1, 100*time.Millisecond); k == 0 {
+		t.Fatal("epoch beat never observed on worker 1")
+	}
+}
+
+func TestPingDelivers(t *testing.T) {
+	s := NewPing()
+	s.SignalCost = 0
+	s.Attach(2, time.Millisecond)
+	defer s.Detach()
+	if k := pollUntil(t, s, 0, 200*time.Millisecond); k == 0 {
+		t.Fatal("ping beat never observed")
+	}
+}
+
+func TestPingOverloadMissesBeats(t *testing.T) {
+	// With signaling cost comparable to the period and several workers, the
+	// ping thread cannot sustain the rate: the ideal timeline outruns the
+	// sent count and the shortfall shows up as missed beats.
+	s := NewPing()
+	s.SignalCost = 500 * time.Microsecond
+	s.Attach(4, time.Millisecond)
+	time.Sleep(50 * time.Millisecond)
+	s.Detach()
+	st := s.Stats()
+	if st.Missed == 0 {
+		t.Fatalf("overloaded ping should miss beats: %v", st)
+	}
+	if st.DetectionRate() >= 99.9 {
+		t.Fatalf("overloaded ping detection rate = %.1f, want < 99.9", st.DetectionRate())
+	}
+}
+
+func TestKernelDelivers(t *testing.T) {
+	s := NewKernel()
+	s.ReceiveCost = 0
+	s.SpinWindow = 50 * time.Microsecond
+	s.Attach(2, time.Millisecond)
+	defer s.Detach()
+	if k := pollUntil(t, s, 0, 200*time.Millisecond); k == 0 {
+		t.Fatal("kernel beat never observed")
+	}
+	if k := pollUntil(t, s, 1, 200*time.Millisecond); k == 0 {
+		t.Fatal("kernel beat never observed on worker 1")
+	}
+}
+
+func TestManualDeterministic(t *testing.T) {
+	s := NewManual()
+	s.Attach(2, 0)
+	if s.Poll(0) != 0 {
+		t.Fatal("manual fired without Fire")
+	}
+	s.Fire(0)
+	if s.Poll(0) != 1 {
+		t.Fatal("manual did not deliver fired beat")
+	}
+	if s.Poll(1) != 0 {
+		t.Fatal("beat leaked to wrong worker")
+	}
+	s.FireAll()
+	if s.Poll(0) != 1 || s.Poll(1) != 1 {
+		t.Fatal("FireAll did not reach both workers")
+	}
+}
+
+func TestManualAlwaysAndEveryN(t *testing.T) {
+	a := NewAlways()
+	a.Attach(1, 0)
+	for i := 0; i < 5; i++ {
+		if a.Poll(0) != 1 {
+			t.Fatal("Always source must fire every poll")
+		}
+	}
+	e := NewEveryN(3)
+	e.Attach(1, 0)
+	fired := 0
+	for i := 0; i < 9; i++ {
+		fired += e.Poll(0)
+	}
+	if fired != 3 {
+		t.Fatalf("EveryN(3) fired %d times in 9 polls, want 3", fired)
+	}
+}
+
+func TestDetectionRateEdgeCases(t *testing.T) {
+	if r := (Stats{}).DetectionRate(); r != 100 {
+		t.Fatalf("empty stats rate = %v, want 100", r)
+	}
+	if r := (Stats{Detected: 3, Missed: 1}).DetectionRate(); r != 75 {
+		t.Fatalf("rate = %v, want 75", r)
+	}
+}
+
+func TestReattach(t *testing.T) {
+	for _, src := range []Source{NewTimer(), NewEpoch(), NewPing(), NewKernel()} {
+		src.Attach(1, time.Millisecond)
+		src.Poll(0)
+		src.Detach()
+		src.Attach(2, time.Millisecond)
+		src.Poll(1)
+		src.Detach()
+		if st := src.Stats(); st.Polls != 1 {
+			t.Fatalf("%s: stats not reset on re-attach: %v", src.Name(), st)
+		}
+	}
+}
+
+func BenchmarkTimerPoll(b *testing.B) {
+	s := NewTimer()
+	s.Attach(1, 100*time.Microsecond)
+	defer s.Detach()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Poll(0)
+	}
+}
+
+func BenchmarkEpochPoll(b *testing.B) {
+	s := NewEpoch()
+	s.Attach(1, 100*time.Microsecond)
+	defer s.Detach()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Poll(0)
+	}
+}
+
+func TestLagRecordedByAllSources(t *testing.T) {
+	sources := []Source{NewTimer(), NewEpoch(), NewPing(), NewKernel()}
+	for _, src := range sources {
+		src.Attach(1, time.Millisecond)
+		if pollUntil(t, src, 0, 300*time.Millisecond) == 0 {
+			src.Detach()
+			t.Fatalf("%s: no beat observed", src.Name())
+		}
+		st := src.Stats()
+		src.Detach()
+		if st.LagMax <= 0 {
+			t.Errorf("%s: LagMax = %v, want > 0", src.Name(), st.LagMax)
+		}
+		if st.LagMean < 0 || st.LagMean > st.LagMax {
+			t.Errorf("%s: LagMean %v outside [0, %v]", src.Name(), st.LagMean, st.LagMax)
+		}
+	}
+}
+
+func TestTimerLagBoundedByPollGap(t *testing.T) {
+	// Polling every ~50µs against a 1ms period: detection lag must stay
+	// well under the period (it is bounded by the poll gap plus scheduling
+	// noise).
+	s := NewTimer()
+	s.Attach(1, time.Millisecond)
+	defer s.Detach()
+	t0 := time.Now()
+	for time.Since(t0) < 30*time.Millisecond {
+		s.Poll(0)
+		time.Sleep(50 * time.Microsecond)
+	}
+	st := s.Stats()
+	if st.Detected == 0 {
+		t.Fatal("no beats detected")
+	}
+	if st.LagMean > 5*time.Millisecond {
+		t.Fatalf("LagMean = %v, want well under a few ms", st.LagMean)
+	}
+}
+
+func TestStatsStringMentionsLag(t *testing.T) {
+	s := Stats{Detected: 1, LagMean: time.Microsecond, LagMax: 2 * time.Microsecond}
+	if got := s.String(); !contains(got, "lag") {
+		t.Fatalf("Stats.String missing lag: %s", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

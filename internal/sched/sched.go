@@ -1,0 +1,343 @@
+// Package sched implements the work-stealing task scheduler underneath the
+// heartbeat runtime.
+//
+// A Team owns a fixed set of worker goroutines, one Chase-Lev deque each.
+// Tasks forked by a worker go on its own deque (LIFO for the owner, FIFO for
+// thieves), which is the structure that makes the clone optimization of
+// lazy-scheduling runtimes possible: the three tasks created by a heartbeat
+// promotion are usually popped back by the same worker in order, paying only
+// an atomic decrement at the join instead of cross-core synchronization. A
+// task is stolen — and the slow path taken — only when another worker runs
+// dry.
+//
+// Joins are "helping" joins: a worker waiting on a Latch keeps executing
+// tasks from its own deque and stealing from others until the latch opens,
+// so no worker ever blocks while runnable work exists.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbc/internal/deque"
+)
+
+// Task is a unit of work executed by a worker. After Run returns, the
+// scheduler signals the task's latch, if any.
+type Task struct {
+	// Run executes the task on the given worker.
+	Run func(w *Worker)
+	// Latch, if non-nil, is signaled (Done) when the task completes.
+	Latch *Latch
+}
+
+// Latch is a countdown latch used to join forked tasks. It is created with a
+// count via NewLatch; each Done decrements, and waiters observe completion
+// when the count reaches zero. Workers should join with Worker.HelpUntil so
+// they keep the system busy; external goroutines use Wait.
+//
+// Panics inside tasks are captured (the first one wins) and re-raised at the
+// join point by HelpUntil and Wait, so a panicking loop body surfaces on the
+// goroutine that forked the work instead of killing a worker.
+type Latch struct {
+	count atomic.Int64
+	done  chan struct{}
+	once  sync.Once
+	pval  atomic.Pointer[panicBox]
+}
+
+// panicBox carries a recovered panic value across goroutines.
+type panicBox struct{ v any }
+
+// NewLatch returns a latch that opens after n calls to Done.
+func NewLatch(n int) *Latch {
+	l := &Latch{done: make(chan struct{})}
+	l.count.Store(int64(n))
+	if n == 0 {
+		l.open()
+	}
+	return l
+}
+
+// Add increases the latch count by n. Calling Add after the latch has opened
+// is a programming error; to spawn dynamically, create the latch with a guard
+// count of one, Add(1) per spawn, and Done the guard after the last spawn.
+func (l *Latch) Add(n int) {
+	l.count.Add(int64(n))
+}
+
+// Done decrements the latch count, opening the latch at zero.
+func (l *Latch) Done() {
+	switch c := l.count.Add(-1); {
+	case c == 0:
+		l.open()
+	case c < 0:
+		panic("sched: Latch.Done called too many times")
+	}
+}
+
+func (l *Latch) open() { l.once.Do(func() { close(l.done) }) }
+
+// Completed reports whether the latch has opened.
+func (l *Latch) Completed() bool {
+	select {
+	case <-l.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the latch opens, then re-raises the first panic any of
+// the joined tasks suffered. Workers must use Worker.HelpUntil instead; Wait
+// is for external (non-worker) goroutines.
+func (l *Latch) Wait() {
+	<-l.done
+	l.rethrow()
+}
+
+// recordPanic stores the first panic observed among the latch's tasks.
+func (l *Latch) recordPanic(v any) {
+	l.pval.CompareAndSwap(nil, &panicBox{v: v})
+}
+
+// rethrow re-raises a recorded panic, if any.
+func (l *Latch) rethrow() {
+	if b := l.pval.Load(); b != nil {
+		panic(b.v)
+	}
+}
+
+// Team is a fixed-size pool of workers sharing work by stealing.
+type Team struct {
+	workers []*Worker
+	inbox   chan *Task // external task submissions
+	wake    chan struct{}
+	stop    chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	spawned atomic.Int64 // tasks pushed, for monitoring
+}
+
+// NewTeam creates a team with n workers (n < 1 is treated as 1) and starts
+// them. Close must be called to release the worker goroutines.
+func NewTeam(n int) *Team {
+	if n < 1 {
+		n = 1
+	}
+	t := &Team{
+		inbox: make(chan *Task, n),
+		wake:  make(chan struct{}, n),
+		stop:  make(chan struct{}),
+	}
+	t.workers = make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		t.workers[i] = &Worker{
+			id:   i,
+			team: t,
+			dq:   deque.New[Task](64),
+			rng:  uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		}
+	}
+	for _, w := range t.workers {
+		t.wg.Add(1)
+		go w.loop()
+	}
+	return t
+}
+
+// Size returns the number of workers in the team.
+func (t *Team) Size() int { return len(t.workers) }
+
+// Worker returns the i'th worker, for observation by instrumentation.
+func (t *Team) Worker(i int) *Worker { return t.workers[i] }
+
+// Spawned returns the total number of tasks pushed onto the team.
+func (t *Team) Spawned() int64 { return t.spawned.Load() }
+
+// Close shuts the team down. It must not be called while tasks are running.
+func (t *Team) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	close(t.stop)
+	t.wg.Wait()
+}
+
+// Run submits fn as a root task and blocks the calling goroutine until it
+// (and everything it forked and joined internally) completes. Run must be
+// called from outside the team's workers.
+func (t *Team) Run(fn func(w *Worker)) {
+	if t.closed.Load() {
+		panic("sched: Run on closed team")
+	}
+	l := NewLatch(1)
+	task := &Task{Run: fn, Latch: l}
+	t.spawned.Add(1)
+	select {
+	case t.inbox <- task:
+	case <-t.stop:
+		panic("sched: team closed during Run")
+	}
+	t.signal()
+	l.Wait()
+}
+
+// signal wakes at most one parked worker.
+func (t *Team) signal() {
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Worker is a scheduling context bound to one goroutine of the team.
+type Worker struct {
+	id    int
+	team  *Team
+	dq    *deque.Deque[Task]
+	rng   uint64
+	steal atomic.Int64 // successful steals, for monitoring
+	execs atomic.Int64 // tasks executed, for monitoring
+}
+
+// ID returns the worker's index in [0, Team.Size()).
+func (w *Worker) ID() int { return w.id }
+
+// Team returns the team this worker belongs to.
+func (w *Worker) Team() *Team { return w.team }
+
+// Steals returns the number of successful steals performed by this worker.
+func (w *Worker) Steals() int64 { return w.steal.Load() }
+
+// Executed returns the number of tasks this worker has run.
+func (w *Worker) Executed() int64 { return w.execs.Load() }
+
+// Spawn pushes a task onto this worker's own deque, registering it with the
+// latch. The caller must eventually join the latch.
+func (w *Worker) Spawn(l *Latch, fn func(w *Worker)) {
+	l.Add(1)
+	w.dq.PushBottom(&Task{Run: fn, Latch: l})
+	w.team.spawned.Add(1)
+	w.team.signal()
+}
+
+// HelpUntil keeps the worker executing available tasks (its own first, then
+// stolen ones) until the latch opens, then re-raises the first panic any of
+// the joined tasks suffered. This is the joining discipline of the runtime:
+// the promoting worker typically pops right back the tasks it just forked,
+// which is the clone-optimization fast path.
+func (w *Worker) HelpUntil(l *Latch) {
+	for !l.Completed() {
+		if t := w.next(); t != nil {
+			w.execute(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+	l.rethrow()
+}
+
+// next returns a runnable task: own deque first, then the external inbox,
+// then two random-victim steal sweeps.
+func (w *Worker) next() *Task {
+	if t, ok := w.dq.PopBottom(); ok {
+		return t
+	}
+	select {
+	case t := <-w.team.inbox:
+		return t
+	default:
+	}
+	n := len(w.team.workers)
+	if n == 1 {
+		return nil
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		start := int(w.nextRand() % uint64(n))
+		for i := 0; i < n; i++ {
+			v := w.team.workers[(start+i)%n]
+			if v == w {
+				continue
+			}
+			if t, ok := v.dq.Steal(); ok {
+				w.steal.Add(1)
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Worker) nextRand() uint64 {
+	// xorshift64*
+	x := w.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	w.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (w *Worker) execute(t *Task) {
+	w.execs.Add(1)
+	defer func() {
+		if t.Latch == nil {
+			return
+		}
+		if v := recover(); v != nil {
+			t.Latch.recordPanic(v)
+		}
+		t.Latch.Done()
+	}()
+	t.Run(w)
+}
+
+// loop is the worker's scheduling loop: execute available work, otherwise
+// spin briefly, then park on the wake channel with a timeout (the timeout
+// makes lost wakeups harmless).
+func (w *Worker) loop() {
+	defer w.team.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	idle := 0
+	for {
+		if t := w.next(); t != nil {
+			idle = 0
+			w.execute(t)
+			continue
+		}
+		select {
+		case <-w.team.stop:
+			return
+		default:
+		}
+		idle++
+		if idle < 16 {
+			runtime.Gosched()
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(100 * time.Microsecond)
+		select {
+		case <-w.team.stop:
+			return
+		case <-w.team.wake:
+		case t := <-w.team.inbox:
+			idle = 0
+			w.execute(t)
+		case <-timer.C:
+		}
+	}
+}
+
+// String identifies the worker in logs and test failures.
+func (w *Worker) String() string { return fmt.Sprintf("worker-%d", w.id) }

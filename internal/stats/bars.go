@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders labeled values as a horizontal ASCII bar chart, the
+// terminal rendition of the paper's speedup figures. Values are scaled to
+// the maximum; negative values render as empty bars with their numeric
+// label intact.
+type BarChart struct {
+	Title string
+	// Width is the maximum bar width in characters (default 48).
+	Width  int
+	labels []string
+	values []float64
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title, Width: 48}
+}
+
+// Bar appends one labeled value.
+func (b *BarChart) Bar(label string, value float64) {
+	b.labels = append(b.labels, label)
+	b.values = append(b.values, value)
+}
+
+// Len returns the number of bars.
+func (b *BarChart) Len() int { return len(b.labels) }
+
+// String renders the chart.
+func (b *BarChart) String() string {
+	if len(b.values) == 0 {
+		return b.Title + "\n(no data)\n"
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 48
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range b.values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(b.labels[i]) > maxLabel {
+			maxLabel = len(b.labels[i])
+		}
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString(b.Title)
+		sb.WriteByte('\n')
+	}
+	for i, v := range b.values {
+		n := 0
+		if maxVal > 0 && v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			n = int(math.Round(v / maxVal * float64(width)))
+			if n == 0 {
+				n = 1 // visible sliver for small positives
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %s\n", maxLabel, b.labels[i],
+			strings.Repeat("█", n), FormatFloat(v))
+	}
+	return sb.String()
+}
+
+// BarsFromTable builds a chart from a table's label column and one numeric
+// column, skipping cells that do not parse as numbers (e.g. "DNF", "-").
+func BarsFromTable(t *Table, labelCol, valueCol int) *BarChart {
+	b := NewBarChart(t.Title)
+	for r := 0; r < t.Rows(); r++ {
+		var v float64
+		if _, err := fmt.Sscanf(t.Cell(r, valueCol), "%g", &v); err != nil {
+			continue
+		}
+		b.Bar(t.Cell(r, labelCol), v)
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+// Package stats provides the small numeric and formatting utilities of the
+// benchmark harness: robust timing summaries (the paper reports medians),
+// speedups, geometric means, and fixed-width text tables that stand in for
+// the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Median returns the median of ds (the paper's reporting statistic).
+// It panics on an empty input.
+func Median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		panic("stats: median of empty sample")
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Min returns the smallest sample.
+func Min(ds []time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Speedup returns base/t as a ratio (how many times faster than base).
+func Speedup(base, t time.Duration) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return float64(base) / float64(t)
+}
+
+// GeoMean returns the geometric mean of positive values, ignoring
+// non-positive entries (matching how the paper's geomean rows treat DNFs).
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Table renders rows as a fixed-width text table with the given headers.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title line and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float compactly (two decimals, trimming ".00").
+func FormatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimSuffix(s, "0")
+	s = strings.TrimSuffix(s, "0")
+	s = strings.TrimSuffix(s, ".")
+	return s
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the formatted cell (row, col), for tests.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// CSV renders the table as RFC-4180-ish CSV (quotes only where needed),
+// header row first — the machine-readable companion to String for plotting
+// pipelines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMedianOddEven(t *testing.T) {
+	if m := Median([]time.Duration{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %d, want 2", m)
+	}
+	if m := Median([]time.Duration{4, 1, 2, 3}); m != 2 {
+		t.Fatalf("median even = %d, want 2 (avg of 2,3 truncated)", m)
+	}
+	if m := Median([]time.Duration{7}); m != 7 {
+		t.Fatalf("median single = %d, want 7", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []time.Duration{5, 1, 3}
+	Median(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Fatalf("median mutated input: %v", in)
+	}
+}
+
+func TestQuickMedianBounds(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		ds := make([]time.Duration, len(vals))
+		for i, v := range vals {
+			ds[i] = time.Duration(v)
+		}
+		m := Median(ds)
+		return m >= Min(ds) && m <= maxOf(ds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxOf(ds []time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10*time.Second, 2*time.Second); s != 5 {
+		t.Fatalf("speedup = %v, want 5", s)
+	}
+	if s := Speedup(time.Second, 0); !math.IsInf(s, 1) {
+		t.Fatalf("speedup by zero = %v, want +inf", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{5, 0, -1}); math.Abs(g-5) > 1e-12 {
+		t.Fatalf("geomean ignoring nonpositive = %v, want 5", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean empty = %v, want 0", g)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "bench", "speedup")
+	tb.Row("spmv", 21.73)
+	tb.Row("mandelbrot", 63.7)
+	out := tb.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "21.73") {
+		t.Fatalf("table rendering missing content:\n%s", out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d, want 2", tb.Rows())
+	}
+	if tb.Cell(1, 0) != "mandelbrot" {
+		t.Fatalf("Cell(1,0) = %q", tb.Cell(1, 0))
+	}
+}
+
+func TestFormatFloatCases(t *testing.T) {
+	if FormatFloat(21.7) != "21.7" {
+		t.Fatal(FormatFloat(21.7))
+	}
+	if FormatFloat(5.0) != "5" {
+		t.Fatal(FormatFloat(5.0))
+	}
+	if FormatFloat(math.Inf(1)) != "inf" {
+		t.Fatal("inf")
+	}
+	if FormatFloat(math.NaN()) != "nan" {
+		t.Fatal("nan")
+	}
+}
+
+func TestBarChartRendering(t *testing.T) {
+	b := NewBarChart("speedups")
+	b.Bar("hbc", 21.7)
+	b.Bar("omp", 14.2)
+	b.Bar("bad", -3)
+	out := b.String()
+	if !strings.Contains(out, "speedups") || !strings.Contains(out, "hbc") {
+		t.Fatalf("chart missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart lines = %d, want 4:\n%s", len(lines), out)
+	}
+	// The larger value gets the longer bar.
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Fatalf("bar lengths not ordered:\n%s", out)
+	}
+	// Negative values render without any bar.
+	if strings.Count(lines[3], "█") != 0 {
+		t.Fatalf("negative value got a bar:\n%s", out)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	b := NewBarChart("empty")
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestBarsFromTable(t *testing.T) {
+	tb := NewTable("Fig", "bench", "speedup")
+	tb.Row("a", 2.0)
+	tb.Row("b", 4.0)
+	tb.Row("c", "DNF")
+	b := BarsFromTable(tb, 0, 1)
+	if b.Len() != 2 {
+		t.Fatalf("bars = %d, want 2 (DNF skipped)", b.Len())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("Fig", "bench", "speedup")
+	tb.Row("spmv, arrowhead", 21.7)
+	tb.Row(`quo"ted`, 1.0)
+	got := tb.CSV()
+	want := "bench,speedup\n\"spmv, arrowhead\",21.7\n\"quo\"\"ted\",1\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

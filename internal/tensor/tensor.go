@@ -1,0 +1,157 @@
+// Package tensor provides third-order sparse tensors in compressed sparse
+// fiber (CSF) layout and the TTV/TTM kernels of the paper's TACO-derived
+// benchmarks.
+//
+// The paper stores its tensors "dense for the first dimension and sparse
+// for the rest" (§6.1); CSF3 uses the same layout: mode-0 indexes directly,
+// each i owning a sparse set of j-fibers, each fiber a sparse set of k
+// entries. The paper's input is NELL-2 from FROSTT (a 1.5 GB download
+// gate); PowerLawTensor substitutes a synthetic tensor whose fiber counts
+// follow a power law, preserving the skewed per-iteration work that makes
+// ttv and ttm irregular.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CSF3 is a third-order sparse tensor: dimension I dense, J and K sparse.
+type CSF3 struct {
+	I, J, K int64
+	// JPtr has I+1 entries: slice i's j-fibers live at [JPtr[i], JPtr[i+1])
+	// in JInd.
+	JPtr []int64
+	JInd []int32
+	// KPtr has len(JInd)+1 entries: fiber f's entries live at
+	// [KPtr[f], KPtr[f+1]) in KInd and Val.
+	KPtr []int64
+	KInd []int32
+	Val  []float64
+}
+
+// NNZ returns the number of stored entries.
+func (t *CSF3) NNZ() int64 { return int64(len(t.Val)) }
+
+// Fibers returns the number of (i, j) fibers.
+func (t *CSF3) Fibers() int64 { return int64(len(t.JInd)) }
+
+// Validate checks the CSF structural invariants.
+func (t *CSF3) Validate() error {
+	if int64(len(t.JPtr)) != t.I+1 {
+		return fmt.Errorf("tensor: JPtr len %d != I+1 %d", len(t.JPtr), t.I+1)
+	}
+	if int64(len(t.KPtr)) != t.Fibers()+1 {
+		return fmt.Errorf("tensor: KPtr len %d != fibers+1 %d", len(t.KPtr), t.Fibers()+1)
+	}
+	if len(t.KInd) != len(t.Val) {
+		return fmt.Errorf("tensor: KInd len %d != Val len %d", len(t.KInd), len(t.Val))
+	}
+	for i := int64(0); i < t.I; i++ {
+		if t.JPtr[i] > t.JPtr[i+1] {
+			return fmt.Errorf("tensor: JPtr not monotone at %d", i)
+		}
+	}
+	for f := int64(0); f < t.Fibers(); f++ {
+		if t.KPtr[f] > t.KPtr[f+1] {
+			return fmt.Errorf("tensor: KPtr not monotone at fiber %d", f)
+		}
+	}
+	for _, j := range t.JInd {
+		if int64(j) < 0 || int64(j) >= t.J {
+			return fmt.Errorf("tensor: j index %d out of range", j)
+		}
+	}
+	for _, k := range t.KInd {
+		if int64(k) < 0 || int64(k) >= t.K {
+			return fmt.Errorf("tensor: k index %d out of range", k)
+		}
+	}
+	return nil
+}
+
+// TTV computes the tensor-times-vector product serially:
+// out[i*J+j] = Σ_k T[i,j,k]·v[k], with out dense of size I×J.
+func (t *CSF3) TTV(v []float64, out []float64) {
+	for i := int64(0); i < t.I; i++ {
+		for f := t.JPtr[i]; f < t.JPtr[i+1]; f++ {
+			var s float64
+			for p := t.KPtr[f]; p < t.KPtr[f+1]; p++ {
+				s += t.Val[p] * v[t.KInd[p]]
+			}
+			out[i*t.J+int64(t.JInd[f])] = s
+		}
+	}
+}
+
+// TTM computes the tensor-times-matrix product serially:
+// out[(i*J+j)*R+r] = Σ_k T[i,j,k]·M[k*R+r], with out dense of size I×J×R.
+func (t *CSF3) TTM(m []float64, r int64, out []float64) {
+	for i := int64(0); i < t.I; i++ {
+		for f := t.JPtr[i]; f < t.JPtr[i+1]; f++ {
+			row := (i*t.J + int64(t.JInd[f])) * r
+			for p := t.KPtr[f]; p < t.KPtr[f+1]; p++ {
+				v := t.Val[p]
+				mrow := int64(t.KInd[p]) * r
+				for c := int64(0); c < r; c++ {
+					out[row+c] += v * m[mrow+c]
+				}
+			}
+		}
+	}
+}
+
+// PowerLawTensor builds an I×J×K tensor where slice i owns about
+// maxFibers/(1+i)^alpha j-fibers and each fiber holds a power-law number of
+// k entries — the NELL-2-like skew that drives the paper's irregular
+// nested-loop behavior in ttv/ttm.
+func PowerLawTensor(i, j, k, maxFibers, maxPerFiber int64, alpha float64, seed int64) *CSF3 {
+	rng := rand.New(rand.NewSource(seed))
+	t := &CSF3{I: i, J: j, K: k, JPtr: make([]int64, i+1)}
+	t.KPtr = append(t.KPtr, 0)
+	for s := int64(0); s < i; s++ {
+		nf := int64(float64(maxFibers) / math.Pow(float64(s+1), alpha))
+		if nf < 1 {
+			nf = 1
+		}
+		if nf > j {
+			nf = j
+		}
+		js := uniqueSorted(rng, nf, j)
+		for fi, jv := range js {
+			nk := int64(float64(maxPerFiber)/math.Pow(float64(fi+1), alpha)) + 1
+			if nk > k {
+				nk = k
+			}
+			ks := uniqueSorted(rng, nk, k)
+			t.JInd = append(t.JInd, jv)
+			for _, kv := range ks {
+				t.KInd = append(t.KInd, kv)
+				t.Val = append(t.Val, 1+float64((int64(jv)+int64(kv))%5)/5)
+			}
+			t.KPtr = append(t.KPtr, int64(len(t.KInd)))
+		}
+		t.JPtr[s+1] = int64(len(t.JInd))
+	}
+	return t
+}
+
+// uniqueSorted draws n distinct values from [0, max) in ascending order.
+func uniqueSorted(rng *rand.Rand, n, max int64) []int32 {
+	if n > max {
+		n = max
+	}
+	seen := make(map[int32]bool, n)
+	out := make([]int32, 0, n)
+	for int64(len(out)) < n {
+		v := int32(rng.Int63n(max))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

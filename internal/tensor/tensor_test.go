@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func tiny() *CSF3 {
+	// A hand-built 2×3×4 tensor:
+	//   (0,0,1)=2  (0,0,3)=1  (0,2,0)=5
+	//   (1,1,2)=3
+	return &CSF3{
+		I: 2, J: 3, K: 4,
+		JPtr: []int64{0, 2, 3},
+		JInd: []int32{0, 2, 1},
+		KPtr: []int64{0, 2, 3, 4},
+		KInd: []int32{1, 3, 0, 2},
+		Val:  []float64{2, 1, 5, 3},
+	}
+}
+
+func TestValidateTiny(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTVByHand(t *testing.T) {
+	ts := tiny()
+	v := []float64{10, 20, 30, 40}
+	out := make([]float64, ts.I*ts.J)
+	ts.TTV(v, out)
+	// (0,0): 2*20 + 1*40 = 80; (0,2): 5*10 = 50; (1,1): 3*30 = 90.
+	want := []float64{80, 0, 50, 0, 90, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("TTV[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestTTMByHand(t *testing.T) {
+	ts := tiny()
+	const r = 2
+	m := make([]float64, ts.K*r)
+	for k := int64(0); k < ts.K; k++ {
+		m[k*r] = float64(k + 1)
+		m[k*r+1] = 1
+	}
+	out := make([]float64, ts.I*ts.J*r)
+	ts.TTM(m, r, out)
+	// (0,0,0): 2*m[1][0] + 1*m[3][0] = 2*2 + 1*4 = 8; (0,0,1): 2+1 = 3.
+	if out[0] != 8 || out[1] != 3 {
+		t.Fatalf("TTM (0,0) = (%g,%g), want (8,3)", out[0], out[1])
+	}
+	// (0,2,0): 5*m[0][0] = 5; (0,2,1): 5.
+	base := (0*ts.J + 2) * r
+	if out[base] != 5 || out[base+1] != 5 {
+		t.Fatalf("TTM (0,2) = (%g,%g), want (5,5)", out[base], out[base+1])
+	}
+	// (1,1,0): 3*m[2][0] = 9; (1,1,1): 3.
+	base = (1*ts.J + 1) * r
+	if out[base] != 9 || out[base+1] != 3 {
+		t.Fatalf("TTM (1,1) = (%g,%g), want (9,3)", out[base], out[base+1])
+	}
+}
+
+func TestTTMConsistentWithTTVColumns(t *testing.T) {
+	// TTM with an R=1 matrix equals TTV with that column.
+	ts := PowerLawTensor(20, 15, 12, 10, 8, 0.8, 5)
+	v := make([]float64, ts.K)
+	for i := range v {
+		v[i] = float64(i%5) + 0.25
+	}
+	ttv := make([]float64, ts.I*ts.J)
+	ts.TTV(v, ttv)
+	ttm := make([]float64, ts.I*ts.J)
+	ts.TTM(v, 1, ttm)
+	for i := range ttv {
+		if math.Abs(ttv[i]-ttm[i]) > 1e-12 {
+			t.Fatalf("[%d] TTV %g != TTM %g", i, ttv[i], ttm[i])
+		}
+	}
+}
+
+func TestPowerLawTensorShape(t *testing.T) {
+	ts := PowerLawTensor(50, 40, 30, 20, 16, 0.9, 1)
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.NNZ() == 0 {
+		t.Fatal("empty tensor")
+	}
+	// Skew: slice 0 owns more fibers than slice 49.
+	if ts.JPtr[1]-ts.JPtr[0] <= ts.JPtr[50]-ts.JPtr[49] {
+		t.Fatalf("fiber counts not skewed: first=%d last=%d",
+			ts.JPtr[1]-ts.JPtr[0], ts.JPtr[50]-ts.JPtr[49])
+	}
+	// Fibers are unique and sorted per slice.
+	for i := int64(0); i < ts.I; i++ {
+		for f := ts.JPtr[i] + 1; f < ts.JPtr[i+1]; f++ {
+			if ts.JInd[f-1] >= ts.JInd[f] {
+				t.Fatalf("slice %d fibers not strictly ascending", i)
+			}
+		}
+	}
+}
+
+func TestQuickTensorValid(t *testing.T) {
+	f := func(iSeed, jSeed, kSeed, seed uint8) bool {
+		i := int64(iSeed)%30 + 1
+		j := int64(jSeed)%20 + 1
+		k := int64(kSeed)%20 + 1
+		ts := PowerLawTensor(i, j, k, j/2+1, k/2+1, 0.8, int64(seed))
+		return ts.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := PowerLawTensor(10, 10, 10, 5, 5, 0.8, 9)
+	b := PowerLawTensor(10, 10, 10, 5, 5, 0.8, 9)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("tensor generation not deterministic")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			t.Fatal("tensor generation not deterministic")
+		}
+	}
+}

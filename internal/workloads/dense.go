@@ -1,0 +1,648 @@
+package workloads
+
+import (
+	"math"
+
+	"hbc/internal/loopnest"
+	"hbc/internal/omp"
+)
+
+// --- plus-reduce-array --------------------------------------------------------
+
+// plusReduceWork sums a large float64 array — the paper's simplest regular
+// benchmark, a pure 1-level reduction.
+type plusReduceWork struct {
+	data   []float64
+	result float64
+}
+
+func init() {
+	register("plus-reduce-array", func() Workload { return &plusReduceWork{} })
+}
+
+func (w *plusReduceWork) Info() Info {
+	return Info{Name: "plus-reduce-array", Regular: true, TPALSet: true, ManualSet: true, Levels: 1}
+}
+
+func (w *plusReduceWork) Prepare(scale float64) {
+	w.data = make([]float64, scaled(4_000_000, scale))
+	for i := range w.data {
+		w.data[i] = float64(i%17) - 8
+	}
+}
+
+func (w *plusReduceWork) sum(lo, hi int64) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += w.data[i]
+	}
+	return s
+}
+
+func (w *plusReduceWork) Serial() { w.result = w.sum(0, int64(len(w.data))) }
+
+func (w *plusReduceWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	w.result = pool.ForReduce(cfg.Sched, 0, int64(len(w.data)), cfg.Chunk, w.sum)
+}
+
+func (w *plusReduceWork) nest() *loopnest.Nest {
+	return &loopnest.Nest{
+		Name: "plus-reduce-array",
+		Root: &loopnest.Loop{
+			Name: "sum",
+			Bounds: func(env any, _ []int64) (int64, int64) {
+				return 0, int64(len(env.(*plusReduceWork).data))
+			},
+			Reduce: loopnest.SumFloat64(),
+			Body: func(env any, _ []int64, lo, hi int64, acc any) {
+				*acc.(*float64) += env.(*plusReduceWork).sum(lo, hi)
+			},
+		},
+	}
+}
+
+func (w *plusReduceWork) BindHBC(d *Driver) error { return d.Load("sum", w.nest(), w) }
+
+func (w *plusReduceWork) RunHBC(d *Driver) {
+	w.result = *d.Run("sum").(*float64)
+}
+
+func (w *plusReduceWork) Verify() error {
+	want := w.sum(0, int64(len(w.data)))
+	return floatsClose([]float64{w.result}, []float64{want}, 1e-6, "plus-reduce-array")
+}
+
+// --- floyd-warshall -------------------------------------------------------------
+
+// floydWork is all-pairs shortest paths: the outer k loop is sequential;
+// for each k the (i, j) relaxation is a two-level DOALL nest — a regular
+// workload where static scheduling shines (Fig. 16).
+type floydWork struct {
+	n      int64
+	dist   []float64
+	init   []float64
+	oracle []float64
+	k      int64 // current pivot for the HBC nest
+}
+
+func init() { register("floyd-warshall", func() Workload { return &floydWork{} }) }
+
+func (w *floydWork) Info() Info {
+	return Info{Name: "floyd-warshall", Regular: true, TPALSet: true, Levels: 2}
+}
+
+func (w *floydWork) Prepare(scale float64) {
+	w.n = scaled(180, math.Sqrt(scale))
+	w.init = make([]float64, w.n*w.n)
+	for i := int64(0); i < w.n; i++ {
+		for j := int64(0); j < w.n; j++ {
+			switch {
+			case i == j:
+				w.init[i*w.n+j] = 0
+			case (i+j)%3 == 0:
+				w.init[i*w.n+j] = float64((i*7+j*13)%100 + 1)
+			default:
+				w.init[i*w.n+j] = 1e9 // "infinity"
+			}
+		}
+	}
+	w.dist = make([]float64, len(w.init))
+	w.oracle = nil
+}
+
+func (w *floydWork) relaxRow(k, i, jlo, jhi int64) {
+	d := w.dist
+	n := w.n
+	dik := d[i*n+k]
+	for j := jlo; j < jhi; j++ {
+		if via := dik + d[k*n+j]; via < d[i*n+j] {
+			d[i*n+j] = via
+		}
+	}
+}
+
+func (w *floydWork) Serial() {
+	copy(w.dist, w.init)
+	for k := int64(0); k < w.n; k++ {
+		for i := int64(0); i < w.n; i++ {
+			w.relaxRow(k, i, 0, w.n)
+		}
+	}
+}
+
+func (w *floydWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	copy(w.dist, w.init)
+	for k := int64(0); k < w.n; k++ {
+		k := k
+		if !cfg.Nested {
+			pool.For(cfg.Sched, 0, w.n, cfg.Chunk, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					w.relaxRow(k, i, 0, w.n)
+				}
+			})
+			continue
+		}
+		nth := pool.Size()
+		pool.For(cfg.Sched, 0, w.n, cfg.Chunk, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				i := i
+				omp.NestedFor(nth, cfg.Sched, 0, w.n, cfg.Chunk, func(jlo, jhi int64) {
+					w.relaxRow(k, i, jlo, jhi)
+				})
+			}
+		})
+	}
+}
+
+func (w *floydWork) nest() *loopnest.Nest {
+	jLoop := &loopnest.Loop{
+		Name:   "j",
+		Bounds: func(env any, _ []int64) (int64, int64) { return 0, env.(*floydWork).n },
+		Body: func(env any, idx []int64, lo, hi int64, _ any) {
+			f := env.(*floydWork)
+			f.relaxRow(f.k, idx[0], lo, hi)
+		},
+	}
+	iLoop := &loopnest.Loop{
+		Name:     "i",
+		Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*floydWork).n },
+		Children: []*loopnest.Loop{jLoop},
+	}
+	return &loopnest.Nest{Name: "floyd-warshall", Root: iLoop}
+}
+
+func (w *floydWork) BindHBC(d *Driver) error { return d.Load("relax", w.nest(), w) }
+
+func (w *floydWork) RunHBC(d *Driver) {
+	copy(w.dist, w.init)
+	for k := int64(0); k < w.n; k++ {
+		w.k = k
+		d.Run("relax")
+	}
+}
+
+func (w *floydWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = make([]float64, len(w.dist))
+		save := w.dist
+		w.dist = w.oracle
+		w.Serial()
+		w.dist = save
+	}
+	return floatsClose(w.dist, w.oracle, 1e-9, "floyd-warshall")
+}
+
+// --- kmeans ----------------------------------------------------------------------
+
+const (
+	kmDim   = 4
+	kmK     = 8
+	kmIters = 4
+)
+
+// kmeansWork is Rodinia's kmeans: per iteration, every point finds its
+// nearest centroid (DOALL) and contributes to the per-cluster coordinate
+// sums — an array reduction that HBC parallelizes while the OpenMP
+// implementation accumulates serially on the main thread, the effect behind
+// kmeans being the one regular benchmark HBC wins (§6.8).
+type kmeansWork struct {
+	n        int64
+	pts      []float64 // n × kmDim
+	centers  []float64 // kmK × kmDim, the output
+	assign   []int32
+	oracleC  []float64
+	oracleA  []int32
+	haveOrcl bool
+}
+
+// kmAcc is the kmeans array-reduction accumulator.
+type kmAcc struct {
+	sums   []float64 // kmK × kmDim
+	counts []int64   // kmK
+}
+
+func init() { register("kmeans", func() Workload { return &kmeansWork{} }) }
+
+func (w *kmeansWork) Info() Info {
+	return Info{Name: "kmeans", Regular: true, TPALSet: true, Levels: 1}
+}
+
+func (w *kmeansWork) Prepare(scale float64) {
+	w.n = scaled(150_000, scale)
+	w.pts = make([]float64, w.n*kmDim)
+	// Well-separated synthetic clusters: spacing 100, noise < 1, so nearest
+	// centroids are unambiguous and the result is promotion-order
+	// independent.
+	for i := int64(0); i < w.n; i++ {
+		c := i % kmK
+		for d := int64(0); d < kmDim; d++ {
+			noise := float64((i*31+d*17)%100)/100 - 0.5
+			w.pts[i*kmDim+d] = float64(c)*100 + noise
+		}
+	}
+	w.centers = make([]float64, kmK*kmDim)
+	w.assign = make([]int32, w.n)
+	w.haveOrcl = false
+}
+
+func (w *kmeansWork) initCenters(cs []float64) {
+	for c := int64(0); c < kmK; c++ {
+		for d := int64(0); d < kmDim; d++ {
+			// Deliberately offset starting centroids.
+			cs[c*kmDim+d] = float64(c)*100 + 10
+		}
+	}
+}
+
+// assignRange assigns points [lo, hi) to their nearest centroid and
+// accumulates sums/counts into acc.
+func (w *kmeansWork) assignRange(cs []float64, lo, hi int64, acc *kmAcc) {
+	for i := lo; i < hi; i++ {
+		best, bestD := int32(0), math.MaxFloat64
+		for c := int64(0); c < kmK; c++ {
+			var dist float64
+			for d := int64(0); d < kmDim; d++ {
+				diff := w.pts[i*kmDim+d] - cs[c*kmDim+d]
+				dist += diff * diff
+			}
+			if dist < bestD {
+				bestD, best = dist, int32(c)
+			}
+		}
+		w.assign[i] = best
+		if acc != nil {
+			acc.counts[best]++
+			for d := int64(0); d < kmDim; d++ {
+				acc.sums[int64(best)*kmDim+d] += w.pts[i*kmDim+d]
+			}
+		}
+	}
+}
+
+func newKmAcc() *kmAcc {
+	return &kmAcc{sums: make([]float64, kmK*kmDim), counts: make([]int64, kmK)}
+}
+
+func (a *kmAcc) reset() {
+	for i := range a.sums {
+		a.sums[i] = 0
+	}
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+}
+
+func (a *kmAcc) merge(b *kmAcc) {
+	for i := range a.sums {
+		a.sums[i] += b.sums[i]
+	}
+	for i := range a.counts {
+		a.counts[i] += b.counts[i]
+	}
+}
+
+func (w *kmeansWork) updateCenters(cs []float64, acc *kmAcc) {
+	for c := int64(0); c < kmK; c++ {
+		if acc.counts[c] == 0 {
+			continue
+		}
+		for d := int64(0); d < kmDim; d++ {
+			cs[c*kmDim+d] = acc.sums[c*kmDim+d] / float64(acc.counts[c])
+		}
+	}
+}
+
+func (w *kmeansWork) Serial() {
+	w.initCenters(w.centers)
+	acc := newKmAcc()
+	for it := 0; it < kmIters; it++ {
+		acc.reset()
+		w.assignRange(w.centers, 0, w.n, acc)
+		w.updateCenters(w.centers, acc)
+	}
+}
+
+func (w *kmeansWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	w.initCenters(w.centers)
+	acc := newKmAcc()
+	for it := 0; it < kmIters; it++ {
+		// Parallel assignment phase.
+		pool.For(cfg.Sched, 0, w.n, cfg.Chunk, func(lo, hi int64) {
+			w.assignRange(w.centers, lo, hi, nil)
+		})
+		// As in the Rodinia OpenMP implementation the paper uses, the array
+		// reduction runs sequentially on the main thread (§6.8).
+		acc.reset()
+		for i := int64(0); i < w.n; i++ {
+			c := w.assign[i]
+			acc.counts[c]++
+			for d := int64(0); d < kmDim; d++ {
+				acc.sums[int64(c)*kmDim+d] += w.pts[i*kmDim+d]
+			}
+		}
+		w.updateCenters(w.centers, acc)
+	}
+}
+
+func (w *kmeansWork) nest() *loopnest.Nest {
+	red := &loopnest.Reduction{
+		Fresh: func() any { return newKmAcc() },
+		Reset: func(acc any) { acc.(*kmAcc).reset() },
+		Merge: func(into, from any) { into.(*kmAcc).merge(from.(*kmAcc)) },
+	}
+	return &loopnest.Nest{
+		Name: "kmeans",
+		Root: &loopnest.Loop{
+			Name:   "points",
+			Bounds: func(env any, _ []int64) (int64, int64) { return 0, env.(*kmeansWork).n },
+			Reduce: red,
+			Body: func(env any, _ []int64, lo, hi int64, acc any) {
+				k := env.(*kmeansWork)
+				k.assignRange(k.centers, lo, hi, acc.(*kmAcc))
+			},
+		},
+	}
+}
+
+func (w *kmeansWork) BindHBC(d *Driver) error { return d.Load("assign", w.nest(), w) }
+
+func (w *kmeansWork) RunHBC(d *Driver) {
+	w.initCenters(w.centers)
+	for it := 0; it < kmIters; it++ {
+		acc := d.Run("assign").(*kmAcc)
+		w.updateCenters(w.centers, acc)
+	}
+}
+
+func (w *kmeansWork) Verify() error {
+	if !w.haveOrcl {
+		w.oracleC = make([]float64, len(w.centers))
+		w.oracleA = make([]int32, len(w.assign))
+		saveC, saveA := w.centers, w.assign
+		w.centers, w.assign = w.oracleC, w.oracleA
+		w.Serial()
+		w.centers, w.assign = saveC, saveA
+		w.haveOrcl = true
+	}
+	if err := int32sEqual(w.assign, w.oracleA, "kmeans assignments"); err != nil {
+		return err
+	}
+	return floatsClose(w.centers, w.oracleC, 1e-8, "kmeans centers")
+}
+
+// --- srad -------------------------------------------------------------------------
+
+const sradIters = 3
+
+// sradWork is Rodinia's speckle-reducing anisotropic diffusion on a 2D
+// image: per iteration, a parallel statistics reduction over the image,
+// then two two-level DOALL sweeps (diffusion coefficients, then the image
+// update). Regular — every cell costs the same.
+type sradWork struct {
+	rows, cols int64
+	img        []float64
+	img0       []float64
+	coef       []float64
+	oracle     []float64
+	snapRef    []float64 // Jacobi snapshot read by the update sweep
+	q0sqr      float64   // current iteration's diffusion threshold
+	lambda     float64
+}
+
+func init() { register("srad", func() Workload { return &sradWork{} }) }
+
+func (w *sradWork) Info() Info {
+	return Info{Name: "srad", Regular: true, TPALSet: true, Levels: 2}
+}
+
+func (w *sradWork) Prepare(scale float64) {
+	side := scaled(300, math.Sqrt(scale))
+	w.rows, w.cols = side, side
+	w.lambda = 0.5
+	w.img0 = make([]float64, w.rows*w.cols)
+	for i := range w.img0 {
+		w.img0[i] = math.Exp(float64(i%255)/255 - 0.5)
+	}
+	w.img = make([]float64, len(w.img0))
+	w.coef = make([]float64, len(w.img0))
+	w.oracle = nil
+}
+
+func (w *sradWork) at(i, j int64) int64 {
+	// Clamped neighbor addressing.
+	if i < 0 {
+		i = 0
+	}
+	if i >= w.rows {
+		i = w.rows - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= w.cols {
+		j = w.cols - 1
+	}
+	return i*w.cols + j
+}
+
+// stats returns (sum, sumSq) over image rows [lo, hi).
+func (w *sradWork) stats(lo, hi int64) (float64, float64) {
+	var s, s2 float64
+	for i := lo; i < hi; i++ {
+		for j := int64(0); j < w.cols; j++ {
+			v := w.img[i*w.cols+j]
+			s += v
+			s2 += v * v
+		}
+	}
+	return s, s2
+}
+
+// coefRow computes diffusion coefficients for cells (i, [jlo,jhi)).
+func (w *sradWork) coefRow(i, jlo, jhi int64) {
+	for j := jlo; j < jhi; j++ {
+		c := w.img[w.at(i, j)]
+		dN := w.img[w.at(i-1, j)] - c
+		dS := w.img[w.at(i+1, j)] - c
+		dW := w.img[w.at(i, j-1)] - c
+		dE := w.img[w.at(i, j+1)] - c
+		g2 := (dN*dN + dS*dS + dW*dW + dE*dE) / (c * c)
+		l := (dN + dS + dW + dE) / c
+		num := 0.5*g2 - (1.0/16.0)*l*l
+		den := 1 + 0.25*l
+		qsqr := num / (den * den)
+		den = (qsqr - w.q0sqr) / (w.q0sqr * (1 + w.q0sqr))
+		cc := 1.0 / (1.0 + den)
+		if cc < 0 {
+			cc = 0
+		} else if cc > 1 {
+			cc = 1
+		}
+		w.coef[i*w.cols+j] = cc
+	}
+}
+
+func (w *sradWork) setQ0(sum, sumSq float64) {
+	n := float64(w.rows * w.cols)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	w.q0sqr = variance / (mean * mean)
+}
+
+func (w *sradWork) Serial() {
+	copy(w.img, w.img0)
+	if w.snapRef == nil {
+		w.snapRef = make([]float64, len(w.img))
+	}
+	for it := 0; it < sradIters; it++ {
+		s, s2 := w.stats(0, w.rows)
+		w.setQ0(s, s2)
+		for i := int64(0); i < w.rows; i++ {
+			w.coefRow(i, 0, w.cols)
+		}
+		// The update reads neighbors' pre-update values, so all variants
+		// run Jacobi from a snapshot; the buffer is reused across runs.
+		copy(w.snapRef, w.img)
+		for i := int64(0); i < w.rows; i++ {
+			w.updateRowFrom(w.snapRef, i, 0, w.cols)
+		}
+	}
+}
+
+// updateRowFrom is updateRow reading the img snapshot (Jacobi).
+func (w *sradWork) updateRowFrom(src []float64, i, jlo, jhi int64) {
+	for j := jlo; j < jhi; j++ {
+		c := src[w.at(i, j)]
+		cN := w.coef[w.at(i, j)]
+		cS := w.coef[w.at(i+1, j)]
+		cW := w.coef[w.at(i, j)]
+		cE := w.coef[w.at(i, j+1)]
+		d := cN*(src[w.at(i-1, j)]-c) + cS*(src[w.at(i+1, j)]-c) +
+			cW*(src[w.at(i, j-1)]-c) + cE*(src[w.at(i, j+1)]-c)
+		w.img[i*w.cols+j] = c + 0.25*w.lambda*d
+	}
+}
+
+func (w *sradWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	copy(w.img, w.img0)
+	snap := make([]float64, len(w.img))
+	for it := 0; it < sradIters; it++ {
+		s := pool.ForReduce(cfg.Sched, 0, w.rows, cfg.Chunk, func(lo, hi int64) float64 {
+			ps, _ := w.stats(lo, hi)
+			return ps
+		})
+		s2 := pool.ForReduce(cfg.Sched, 0, w.rows, cfg.Chunk, func(lo, hi int64) float64 {
+			_, ps2 := w.stats(lo, hi)
+			return ps2
+		})
+		w.setQ0(s, s2)
+		pool.For(cfg.Sched, 0, w.rows, cfg.Chunk, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				w.coefRow(i, 0, w.cols)
+			}
+		})
+		copy(snap, w.img)
+		pool.For(cfg.Sched, 0, w.rows, cfg.Chunk, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				w.updateRowFrom(snap, i, 0, w.cols)
+			}
+		})
+	}
+}
+
+// sradStats is the accumulator of the statistics reduction.
+type sradStats struct{ s, s2 float64 }
+
+func (w *sradWork) nests() (stats, coef, update *loopnest.Nest) {
+	statsNest := &loopnest.Nest{
+		Name: "srad-stats",
+		Root: &loopnest.Loop{
+			Name:   "stat-rows",
+			Bounds: func(env any, _ []int64) (int64, int64) { return 0, env.(*sradWork).rows },
+			Reduce: &loopnest.Reduction{
+				Fresh: func() any { return &sradStats{} },
+				Reset: func(a any) { *a.(*sradStats) = sradStats{} },
+				Merge: func(into, from any) {
+					i, f := into.(*sradStats), from.(*sradStats)
+					i.s += f.s
+					i.s2 += f.s2
+				},
+			},
+			Body: func(env any, _ []int64, lo, hi int64, acc any) {
+				sw := env.(*sradWork)
+				a := acc.(*sradStats)
+				ps, ps2 := sw.stats(lo, hi)
+				a.s += ps
+				a.s2 += ps2
+			},
+		},
+	}
+	coefInner := &loopnest.Loop{
+		Name:   "coef-cols",
+		Bounds: func(env any, _ []int64) (int64, int64) { return 0, env.(*sradWork).cols },
+		Body: func(env any, idx []int64, lo, hi int64, _ any) {
+			env.(*sradWork).coefRow(idx[0], lo, hi)
+		},
+	}
+	coefNest := &loopnest.Nest{
+		Name: "srad-coef",
+		Root: &loopnest.Loop{
+			Name:     "coef-rows",
+			Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*sradWork).rows },
+			Children: []*loopnest.Loop{coefInner},
+		},
+	}
+	updateInner := &loopnest.Loop{
+		Name:   "upd-cols",
+		Bounds: func(env any, _ []int64) (int64, int64) { return 0, env.(*sradWork).cols },
+		Body: func(env any, idx []int64, lo, hi int64, _ any) {
+			sw := env.(*sradWork)
+			sw.updateRowFrom(sw.snapRef, idx[0], lo, hi)
+		},
+	}
+	updateNest := &loopnest.Nest{
+		Name: "srad-update",
+		Root: &loopnest.Loop{
+			Name:     "upd-rows",
+			Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*sradWork).rows },
+			Children: []*loopnest.Loop{updateInner},
+		},
+	}
+	return statsNest, coefNest, updateNest
+}
+
+func (w *sradWork) BindHBC(d *Driver) error {
+	sn, cn, un := w.nests()
+	if err := d.Load("stats", sn, w); err != nil {
+		return err
+	}
+	if err := d.Load("coef", cn, w); err != nil {
+		return err
+	}
+	return d.Load("update", un, w)
+}
+
+func (w *sradWork) RunHBC(d *Driver) {
+	copy(w.img, w.img0)
+	if w.snapRef == nil {
+		w.snapRef = make([]float64, len(w.img))
+	}
+	for it := 0; it < sradIters; it++ {
+		st := d.Run("stats").(*sradStats)
+		w.setQ0(st.s, st.s2)
+		d.Run("coef")
+		copy(w.snapRef, w.img)
+		d.Run("update")
+	}
+}
+
+func (w *sradWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = make([]float64, len(w.img))
+		save := w.img
+		w.img = w.oracle
+		w.Serial()
+		w.img = save
+	}
+	return floatsClose(w.img, w.oracle, 1e-7, "srad")
+}

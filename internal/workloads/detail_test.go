@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"hbc/internal/core"
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+)
+
+// Per-benchmark behavioral tests beyond the engine matrix: numerical
+// properties that must hold regardless of scheduling.
+
+func TestCGConverges(t *testing.T) {
+	w, _ := New("cg")
+	cg := w.(*cgWork)
+	cg.Prepare(0.05)
+	cg.Serial()
+	// Residual after cgIters iterations: r = b - A x must be much smaller
+	// than b (the CageLike matrix is SPD and well conditioned).
+	n := int64(len(cg.x))
+	ax := make([]float64, n)
+	cg.m.SpMV(cg.x, ax)
+	var rnorm, bnorm float64
+	for i := int64(0); i < n; i++ {
+		d := cg.b[i] - ax[i]
+		rnorm += d * d
+		bnorm += cg.b[i] * cg.b[i]
+	}
+	if rnorm/bnorm > 1e-6 {
+		t.Fatalf("cg residual too large: |r|²/|b|² = %g", rnorm/bnorm)
+	}
+}
+
+func TestKmeansFindsPlantedClusters(t *testing.T) {
+	w, _ := New("kmeans")
+	km := w.(*kmeansWork)
+	km.Prepare(0.05)
+	km.Serial()
+	// The planted clusters sit at multiples of 100 per dimension (noise
+	// ±0.5); after convergence each centroid must sit within 1 of one
+	// plant, and all kmK plants must be claimed.
+	claimed := map[int64]bool{}
+	for c := int64(0); c < kmK; c++ {
+		plant := int64(math.Round(km.centers[c*kmDim] / 100))
+		for d := int64(0); d < kmDim; d++ {
+			if math.Abs(km.centers[c*kmDim+d]-float64(plant)*100) > 1 {
+				t.Fatalf("centroid %d dim %d = %g, not near a plant", c, d, km.centers[c*kmDim+d])
+			}
+		}
+		claimed[plant] = true
+	}
+	if len(claimed) != kmK {
+		t.Fatalf("only %d of %d plants claimed", len(claimed), kmK)
+	}
+}
+
+func TestSradSmooths(t *testing.T) {
+	w, _ := New("srad")
+	sr := w.(*sradWork)
+	sr.Prepare(0.05)
+	variance := func(img []float64) float64 {
+		var s, s2 float64
+		for _, v := range img {
+			s += v
+			s2 += v * v
+		}
+		n := float64(len(img))
+		m := s / n
+		return s2/n - m*m
+	}
+	before := variance(sr.img0)
+	sr.Serial()
+	after := variance(sr.img)
+	// Diffusion must reduce image variance (speckle smoothing).
+	if after >= before {
+		t.Fatalf("srad did not smooth: variance %g -> %g", before, after)
+	}
+}
+
+func TestFloydWarshallTriangleInequality(t *testing.T) {
+	w, _ := New("floyd-warshall")
+	fw := w.(*floydWork)
+	fw.Prepare(0.03)
+	fw.Serial()
+	n := fw.n
+	// After all-pairs shortest paths: d[i][j] <= d[i][k] + d[k][j] for all
+	// triples (spot-check a sample).
+	for s := int64(0); s < 200; s++ {
+		i, j, k := s%n, (s*7)%n, (s*13)%n
+		if fw.dist[i*n+j] > fw.dist[i*n+k]+fw.dist[k*n+j]+1e-9 {
+			t.Fatalf("triangle inequality violated at (%d,%d,%d)", i, j, k)
+		}
+	}
+}
+
+func TestBfsLevelsAreMinimal(t *testing.T) {
+	w, _ := New("bfs")
+	bf := w.(*bfsWork)
+	bf.Prepare(0.05)
+	bf.Serial()
+	// Every reachable vertex's level must be exactly one more than the
+	// minimum level among its frontier in-neighbors.
+	g := bf.g
+	for v := int64(0); v < g.N; v++ {
+		lv := bf.level[v]
+		if lv <= 0 {
+			continue
+		}
+		best := int32(math.MaxInt32)
+		for p := g.InPtr[v]; p < g.InPtr[v+1]; p++ {
+			if l := bf.level[g.InAdj[p]]; l >= 0 && l < best {
+				best = l
+			}
+		}
+		if best == math.MaxInt32 || lv != best+1 {
+			t.Fatalf("vertex %d level %d, min in-neighbor %d", v, lv, best)
+		}
+	}
+}
+
+func TestCCLabelsAreComponentMinima(t *testing.T) {
+	w, _ := New("cc")
+	cc := w.(*ccWork)
+	cc.Prepare(0.05)
+	cc.Serial()
+	// Fixed point: no vertex can improve from its in-neighbors.
+	g := cc.g
+	for v := int64(0); v < g.N; v++ {
+		if m := cc.minNeighbor(g.InPtr[v], g.InPtr[v+1]); m < cc.label[v] {
+			t.Fatalf("cc not at fixed point at vertex %d", v)
+		}
+	}
+}
+
+func TestTTVZeroVectorGivesZero(t *testing.T) {
+	w, _ := New("ttv")
+	tv := w.(*tensorWork)
+	tv.Prepare(0.02)
+	for i := range tv.vec {
+		tv.vec[i] = 0
+	}
+	tv.oracle = nil
+	tv.Serial()
+	for i, v := range tv.out {
+		if v != 0 {
+			t.Fatalf("ttv with zero vector: out[%d] = %g", i, v)
+		}
+	}
+}
+
+// TestRepeatedHBCRunsAreStable re-runs one workload many times on a live
+// driver: adaptive state accumulates but results must stay exact.
+func TestRepeatedHBCRunsAreStable(t *testing.T) {
+	w, err := New("spmv-powerlaw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Prepare(0.02)
+	team := sched.NewTeam(2)
+	defer team.Close()
+	d := NewDriver(team, pulse.NewTimer(), core.DefaultHeartbeat, core.Options{})
+	defer d.Close()
+	if err := w.BindHBC(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.RunHBC(d)
+		if err := w.Verify(); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,889 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hbc/internal/graph"
+	"hbc/internal/loopnest"
+	"hbc/internal/omp"
+)
+
+// The six GraphIt-derived benchmarks. All use the DensePull direction: the
+// outer DOALL loop runs over destination vertices and the inner loop
+// gathers from in-neighbors, so iteration cost follows the power-law
+// in-degree distribution of the RMAT input (the Twitter/LiveJournal
+// stand-in). GraphIt's emitted OpenMP code parallelizes only the vertex
+// loop; the HBC variants expose the edge loops as nested DOALLs too.
+
+const (
+	grScale  = 13 // 8192 vertices at scale 1
+	grDegree = 12
+	prIters  = 8
+	cfIters  = 3
+	cfStep   = 0.001
+)
+
+// grBase carries the shared graph plumbing.
+type grBase struct {
+	g *graph.Graph
+}
+
+// graphCache shares one immutable RMAT instance per scale bucket among the
+// six graph workloads — the kernels only read the structure, and
+// regenerating a half-million-edge graph per benchmark would dominate
+// harness time.
+var graphCache = struct {
+	mu sync.Mutex
+	m  map[int]*graph.Graph
+}{m: map[int]*graph.Graph{}}
+
+func (b *grBase) prepGraph(scale float64) {
+	s := grScale
+	switch {
+	case scale <= 0.1:
+		s = grScale - 4
+	case scale <= 0.3:
+		s = grScale - 2
+	case scale <= 0.6:
+		s = grScale - 1
+	case scale >= 3:
+		s = grScale + 1
+	}
+	graphCache.mu.Lock()
+	defer graphCache.mu.Unlock()
+	if g, ok := graphCache.m[s]; ok {
+		b.g = g
+		return
+	}
+	g := graph.RMAT(s, grDegree, 11)
+	graphCache.m[s] = g
+	b.g = g
+}
+
+// minFloat64 builds a float64 min-reduction with +Inf identity.
+func minFloat64() *loopnest.Reduction {
+	return &loopnest.Reduction{
+		Fresh: func() any { v := new(float64); *v = math.Inf(1); return v },
+		Reset: func(a any) { *a.(*float64) = math.Inf(1) },
+		Merge: func(into, from any) {
+			a, b := into.(*float64), from.(*float64)
+			if *b < *a {
+				*a = *b
+			}
+		},
+	}
+}
+
+// minInt32 builds an int32 min-reduction with MaxInt32 identity.
+func minInt32() *loopnest.Reduction {
+	return &loopnest.Reduction{
+		Fresh: func() any { v := new(int32); *v = math.MaxInt32; return v },
+		Reset: func(a any) { *a.(*int32) = math.MaxInt32 },
+		Merge: func(into, from any) {
+			a, b := into.(*int32), from.(*int32)
+			if *b < *a {
+				*a = *b
+			}
+		},
+	}
+}
+
+// --- pagerank -----------------------------------------------------------------
+
+type prWork struct {
+	grBase
+	rank, contrib, next []float64
+	oracle              []float64
+}
+
+func init() { register("pr", func() Workload { return &prWork{} }) }
+
+func (w *prWork) Info() Info { return Info{Name: "pr", Levels: 2} }
+
+func (w *prWork) Prepare(scale float64) {
+	w.prepGraph(scale)
+	w.rank = make([]float64, w.g.N)
+	w.contrib = make([]float64, w.g.N)
+	w.next = make([]float64, w.g.N)
+	w.oracle = nil
+}
+
+func (w *prWork) initRank() {
+	for v := range w.rank {
+		w.rank[v] = 1 / float64(w.g.N)
+	}
+}
+
+func (w *prWork) contribRange(lo, hi int64) {
+	for u := lo; u < hi; u++ {
+		if w.g.OutDeg[u] > 0 {
+			w.contrib[u] = w.rank[u] / float64(w.g.OutDeg[u])
+		} else {
+			w.contrib[u] = 0
+		}
+	}
+}
+
+func (w *prWork) gatherEdges(v, plo, phi int64) float64 {
+	var s float64
+	for p := plo; p < phi; p++ {
+		s += w.contrib[w.g.InAdj[p]]
+	}
+	return s
+}
+
+func (w *prWork) base() float64 { return (1 - graph.PageRankDamping) / float64(w.g.N) }
+
+func (w *prWork) Serial() {
+	w.initRank()
+	for it := 0; it < prIters; it++ {
+		w.contribRange(0, w.g.N)
+		for v := int64(0); v < w.g.N; v++ {
+			w.next[v] = w.base() + graph.PageRankDamping*w.gatherEdges(v, w.g.InPtr[v], w.g.InPtr[v+1])
+		}
+		w.rank, w.next = w.next, w.rank
+	}
+}
+
+func (w *prWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	w.initRank()
+	for it := 0; it < prIters; it++ {
+		pool.For(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) { w.contribRange(lo, hi) })
+		if !cfg.Nested {
+			pool.For(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) {
+				for v := lo; v < hi; v++ {
+					w.next[v] = w.base() + graph.PageRankDamping*w.gatherEdges(v, w.g.InPtr[v], w.g.InPtr[v+1])
+				}
+			})
+		} else {
+			nth := pool.Size()
+			pool.For(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) {
+				for v := lo; v < hi; v++ {
+					v := v
+					s := omp.NestedForReduce(nth, cfg.Sched, w.g.InPtr[v], w.g.InPtr[v+1], cfg.Chunk,
+						func(plo, phi int64) float64 { return w.gatherEdges(v, plo, phi) })
+					w.next[v] = w.base() + graph.PageRankDamping*s
+				}
+			})
+		}
+		w.rank, w.next = w.next, w.rank
+	}
+}
+
+func (w *prWork) BindHBC(d *Driver) error {
+	contrib := &loopnest.Nest{
+		Name: "pr-contrib",
+		Root: &loopnest.Loop{
+			Name:   "contrib",
+			Bounds: func(env any, _ []int64) (int64, int64) { return 0, env.(*prWork).g.N },
+			Body: func(env any, _ []int64, lo, hi int64, _ any) {
+				env.(*prWork).contribRange(lo, hi)
+			},
+		},
+	}
+	edges := &loopnest.Loop{
+		Name: "edges",
+		Bounds: func(env any, idx []int64) (int64, int64) {
+			g := env.(*prWork).g
+			return g.InPtr[idx[0]], g.InPtr[idx[0]+1]
+		},
+		Reduce: loopnest.SumFloat64(),
+		Body: func(env any, idx []int64, lo, hi int64, acc any) {
+			*acc.(*float64) += env.(*prWork).gatherEdges(idx[0], lo, hi)
+		},
+	}
+	gather := &loopnest.Nest{
+		Name: "pr-gather",
+		Root: &loopnest.Loop{
+			Name:     "verts",
+			Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*prWork).g.N },
+			Children: []*loopnest.Loop{edges},
+			Post: func(env any, idx []int64, _ any, children []any) {
+				p := env.(*prWork)
+				p.next[idx[0]] = p.base() + graph.PageRankDamping**children[0].(*float64)
+			},
+		},
+	}
+	if err := d.Load("contrib", contrib, w); err != nil {
+		return err
+	}
+	return d.Load("gather", gather, w)
+}
+
+func (w *prWork) RunHBC(d *Driver) {
+	w.initRank()
+	for it := 0; it < prIters; it++ {
+		d.Run("contrib")
+		d.Run("gather")
+		w.rank, w.next = w.next, w.rank
+	}
+}
+
+func (w *prWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = graph.PageRank(w.g, prIters)
+	}
+	return floatsClose(w.rank, w.oracle, 1e-9, "pr")
+}
+
+// --- pagerank-delta ---------------------------------------------------------------
+
+const prDeltaEps = 1e-7
+
+type prDeltaWork struct {
+	grBase
+	rank, delta, contrib, ndelta []float64
+	oracle                       []float64
+}
+
+func init() { register("pr-delta", func() Workload { return &prDeltaWork{} }) }
+
+func (w *prDeltaWork) Info() Info { return Info{Name: "pr-delta", Levels: 2} }
+
+func (w *prDeltaWork) Prepare(scale float64) {
+	w.prepGraph(scale)
+	n := w.g.N
+	w.rank = make([]float64, n)
+	w.delta = make([]float64, n)
+	w.contrib = make([]float64, n)
+	w.ndelta = make([]float64, n)
+	w.oracle = nil
+}
+
+func (w *prDeltaWork) initState() {
+	for v := range w.rank {
+		w.rank[v] = (1 - graph.PageRankDamping) / float64(w.g.N)
+		w.delta[v] = w.rank[v]
+	}
+}
+
+func (w *prDeltaWork) contribRange(lo, hi int64) {
+	for u := lo; u < hi; u++ {
+		w.contrib[u] = 0
+		if w.g.OutDeg[u] > 0 && math.Abs(w.delta[u]) > prDeltaEps/float64(w.g.N) {
+			w.contrib[u] = graph.PageRankDamping * w.delta[u] / float64(w.g.OutDeg[u])
+		}
+	}
+}
+
+func (w *prDeltaWork) gather(v, plo, phi int64) float64 {
+	var s float64
+	for p := plo; p < phi; p++ {
+		s += w.contrib[w.g.InAdj[p]]
+	}
+	return s
+}
+
+func (w *prDeltaWork) Serial() {
+	w.initState()
+	for it := 0; it < prIters; it++ {
+		w.contribRange(0, w.g.N)
+		for v := int64(0); v < w.g.N; v++ {
+			s := w.gather(v, w.g.InPtr[v], w.g.InPtr[v+1])
+			w.ndelta[v] = s
+			w.rank[v] += s
+		}
+		w.delta, w.ndelta = w.ndelta, w.delta
+	}
+}
+
+func (w *prDeltaWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	w.initState()
+	for it := 0; it < prIters; it++ {
+		pool.For(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) { w.contribRange(lo, hi) })
+		if !cfg.Nested {
+			pool.For(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) {
+				for v := lo; v < hi; v++ {
+					s := w.gather(v, w.g.InPtr[v], w.g.InPtr[v+1])
+					w.ndelta[v] = s
+					w.rank[v] += s
+				}
+			})
+		} else {
+			nth := pool.Size()
+			pool.For(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) {
+				for v := lo; v < hi; v++ {
+					v := v
+					s := omp.NestedForReduce(nth, cfg.Sched, w.g.InPtr[v], w.g.InPtr[v+1], cfg.Chunk,
+						func(plo, phi int64) float64 { return w.gather(v, plo, phi) })
+					w.ndelta[v] = s
+					w.rank[v] += s
+				}
+			})
+		}
+		w.delta, w.ndelta = w.ndelta, w.delta
+	}
+}
+
+func (w *prDeltaWork) BindHBC(d *Driver) error {
+	contrib := &loopnest.Nest{
+		Name: "prd-contrib",
+		Root: &loopnest.Loop{
+			Name:   "contrib",
+			Bounds: func(env any, _ []int64) (int64, int64) { return 0, env.(*prDeltaWork).g.N },
+			Body: func(env any, _ []int64, lo, hi int64, _ any) {
+				env.(*prDeltaWork).contribRange(lo, hi)
+			},
+		},
+	}
+	edges := &loopnest.Loop{
+		Name: "edges",
+		Bounds: func(env any, idx []int64) (int64, int64) {
+			g := env.(*prDeltaWork).g
+			return g.InPtr[idx[0]], g.InPtr[idx[0]+1]
+		},
+		Reduce: loopnest.SumFloat64(),
+		Body: func(env any, idx []int64, lo, hi int64, acc any) {
+			*acc.(*float64) += env.(*prDeltaWork).gather(idx[0], lo, hi)
+		},
+	}
+	gather := &loopnest.Nest{
+		Name: "prd-gather",
+		Root: &loopnest.Loop{
+			Name:     "verts",
+			Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*prDeltaWork).g.N },
+			Children: []*loopnest.Loop{edges},
+			Post: func(env any, idx []int64, _ any, children []any) {
+				p := env.(*prDeltaWork)
+				s := *children[0].(*float64)
+				p.ndelta[idx[0]] = s
+				p.rank[idx[0]] += s
+			},
+		},
+	}
+	if err := d.Load("contrib", contrib, w); err != nil {
+		return err
+	}
+	return d.Load("gather", gather, w)
+}
+
+func (w *prDeltaWork) RunHBC(d *Driver) {
+	w.initState()
+	for it := 0; it < prIters; it++ {
+		d.Run("contrib")
+		d.Run("gather")
+		w.delta, w.ndelta = w.ndelta, w.delta
+	}
+}
+
+func (w *prDeltaWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = graph.PageRankDelta(w.g, prIters, prDeltaEps)
+	}
+	return floatsClose(w.rank, w.oracle, 1e-9, "pr-delta")
+}
+
+// --- bfs ----------------------------------------------------------------------------
+
+type bfsWork struct {
+	grBase
+	level, next []int32
+	oracle      []int32
+	cur         int32
+}
+
+func init() { register("bfs", func() Workload { return &bfsWork{} }) }
+
+func (w *bfsWork) Info() Info { return Info{Name: "bfs", Levels: 1} }
+
+func (w *bfsWork) Prepare(scale float64) {
+	w.prepGraph(scale)
+	w.level = make([]int32, w.g.N)
+	w.next = make([]int32, w.g.N)
+	w.oracle = nil
+}
+
+func (w *bfsWork) initLevels() {
+	for v := range w.level {
+		w.level[v] = -1
+	}
+	w.level[0] = 0
+}
+
+// sweep advances unvisited vertices in [lo, hi) whose in-neighbors sit on
+// the current frontier, writing the next round's levels (Jacobi: levels of
+// the running round are read-only, so concurrent sweeps are race-free and
+// deterministic) and returning how many advanced.
+func (w *bfsWork) sweep(lo, hi int64) int64 {
+	var moved int64
+	for v := lo; v < hi; v++ {
+		w.next[v] = w.level[v]
+		if w.level[v] != -1 {
+			continue
+		}
+		for p := w.g.InPtr[v]; p < w.g.InPtr[v+1]; p++ {
+			if w.level[w.g.InAdj[p]] == w.cur {
+				w.next[v] = w.cur + 1
+				moved++
+				break
+			}
+		}
+	}
+	return moved
+}
+
+func (w *bfsWork) Serial() {
+	w.initLevels()
+	for w.cur = 0; ; w.cur++ {
+		moved := w.sweep(0, w.g.N)
+		w.level, w.next = w.next, w.level
+		if moved == 0 {
+			return
+		}
+	}
+}
+
+func (w *bfsWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	w.initLevels()
+	for w.cur = 0; ; w.cur++ {
+		moved := pool.ForReduce(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) float64 {
+			return float64(w.sweep(lo, hi))
+		})
+		w.level, w.next = w.next, w.level
+		if moved == 0 {
+			return
+		}
+	}
+}
+
+func (w *bfsWork) BindHBC(d *Driver) error {
+	nest := &loopnest.Nest{
+		Name: "bfs",
+		Root: &loopnest.Loop{
+			Name:   "verts",
+			Bounds: func(env any, _ []int64) (int64, int64) { return 0, env.(*bfsWork).g.N },
+			Reduce: loopnest.SumInt64(),
+			Body: func(env any, _ []int64, lo, hi int64, acc any) {
+				*acc.(*int64) += env.(*bfsWork).sweep(lo, hi)
+			},
+		},
+	}
+	return d.Load("sweep", nest, w)
+}
+
+func (w *bfsWork) RunHBC(d *Driver) {
+	w.initLevels()
+	for w.cur = 0; ; w.cur++ {
+		moved := *d.Run("sweep").(*int64)
+		w.level, w.next = w.next, w.level
+		if moved == 0 {
+			return
+		}
+	}
+}
+
+func (w *bfsWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = graph.BFS(w.g, 0)
+	}
+	return int32sEqual(w.level, w.oracle, "bfs")
+}
+
+// --- connected components --------------------------------------------------------
+
+type ccWork struct {
+	grBase
+	label, next []int32
+	oracle      []int32
+}
+
+func init() { register("cc", func() Workload { return &ccWork{} }) }
+
+func (w *ccWork) Info() Info { return Info{Name: "cc", Levels: 2} }
+
+func (w *ccWork) Prepare(scale float64) {
+	w.prepGraph(scale)
+	w.label = make([]int32, w.g.N)
+	w.next = make([]int32, w.g.N)
+	w.oracle = nil
+}
+
+func (w *ccWork) initLabels() {
+	for v := range w.label {
+		w.label[v] = int32(v)
+	}
+}
+
+// minNeighbor returns the minimum label among in-neighbors [plo, phi) of v,
+// reading the previous sweep's labels (Jacobi).
+func (w *ccWork) minNeighbor(plo, phi int64) int32 {
+	m := int32(math.MaxInt32)
+	for p := plo; p < phi; p++ {
+		if l := w.label[w.g.InAdj[p]]; l < m {
+			m = l
+		}
+	}
+	return m
+}
+
+func (w *ccWork) Serial() {
+	w.initLabels()
+	for {
+		var changed int64
+		for v := int64(0); v < w.g.N; v++ {
+			m := w.minNeighbor(w.g.InPtr[v], w.g.InPtr[v+1])
+			if m < w.label[v] {
+				w.next[v] = m
+				changed++
+			} else {
+				w.next[v] = w.label[v]
+			}
+		}
+		w.label, w.next = w.next, w.label
+		if changed == 0 {
+			return
+		}
+	}
+}
+
+func (w *ccWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	w.initLabels()
+	for {
+		changed := pool.ForReduce(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) float64 {
+			var ch int64
+			for v := lo; v < hi; v++ {
+				m := w.minNeighbor(w.g.InPtr[v], w.g.InPtr[v+1])
+				if m < w.label[v] {
+					w.next[v] = m
+					ch++
+				} else {
+					w.next[v] = w.label[v]
+				}
+			}
+			return float64(ch)
+		})
+		w.label, w.next = w.next, w.label
+		if changed == 0 {
+			return
+		}
+	}
+}
+
+func (w *ccWork) BindHBC(d *Driver) error {
+	edges := &loopnest.Loop{
+		Name: "edges",
+		Bounds: func(env any, idx []int64) (int64, int64) {
+			g := env.(*ccWork).g
+			return g.InPtr[idx[0]], g.InPtr[idx[0]+1]
+		},
+		Reduce: minInt32(),
+		Body: func(env any, idx []int64, lo, hi int64, acc any) {
+			c := env.(*ccWork)
+			a := acc.(*int32)
+			if m := c.minNeighbor(lo, hi); m < *a {
+				*a = m
+			}
+		},
+	}
+	nest := &loopnest.Nest{
+		Name: "cc",
+		Root: &loopnest.Loop{
+			Name:     "verts",
+			Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*ccWork).g.N },
+			Children: []*loopnest.Loop{edges},
+			Reduce:   loopnest.SumInt64(),
+			Post: func(env any, idx []int64, acc any, children []any) {
+				c := env.(*ccWork)
+				v := idx[0]
+				m := *children[0].(*int32)
+				if m < c.label[v] {
+					c.next[v] = m
+					*acc.(*int64)++
+				} else {
+					c.next[v] = c.label[v]
+				}
+			},
+		},
+	}
+	return d.Load("sweep", nest, w)
+}
+
+func (w *ccWork) RunHBC(d *Driver) {
+	w.initLabels()
+	for {
+		changed := *d.Run("sweep").(*int64)
+		w.label, w.next = w.next, w.label
+		if changed == 0 {
+			return
+		}
+	}
+}
+
+func (w *ccWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = graph.CC(w.g)
+	}
+	return int32sEqual(w.label, w.oracle, "cc")
+}
+
+// --- sssp --------------------------------------------------------------------------
+
+type ssspWork struct {
+	grBase
+	dist, next []float64
+	oracle     []float64
+}
+
+func init() { register("sssp", func() Workload { return &ssspWork{} }) }
+
+func (w *ssspWork) Info() Info { return Info{Name: "sssp", Levels: 2} }
+
+func (w *ssspWork) Prepare(scale float64) {
+	w.prepGraph(scale)
+	w.dist = make([]float64, w.g.N)
+	w.next = make([]float64, w.g.N)
+	w.oracle = nil
+}
+
+func (w *ssspWork) initDist() {
+	for v := range w.dist {
+		w.dist[v] = graph.Inf
+	}
+	w.dist[0] = 0
+}
+
+// relax returns the best distance to v over in-edges [plo, phi), reading
+// the previous round's distances.
+func (w *ssspWork) relax(plo, phi int64) float64 {
+	best := math.Inf(1)
+	for p := plo; p < phi; p++ {
+		if du := w.dist[w.g.InAdj[p]]; du != graph.Inf && du+w.g.InW[p] < best {
+			best = du + w.g.InW[p]
+		}
+	}
+	return best
+}
+
+func (w *ssspWork) Serial() {
+	w.initDist()
+	for {
+		var changed int64
+		for v := int64(0); v < w.g.N; v++ {
+			b := w.relax(w.g.InPtr[v], w.g.InPtr[v+1])
+			if b < w.dist[v] {
+				w.next[v] = b
+				changed++
+			} else {
+				w.next[v] = w.dist[v]
+			}
+		}
+		w.dist, w.next = w.next, w.dist
+		if changed == 0 {
+			return
+		}
+	}
+}
+
+func (w *ssspWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	w.initDist()
+	for {
+		changed := pool.ForReduce(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) float64 {
+			var ch int64
+			for v := lo; v < hi; v++ {
+				b := w.relax(w.g.InPtr[v], w.g.InPtr[v+1])
+				if b < w.dist[v] {
+					w.next[v] = b
+					ch++
+				} else {
+					w.next[v] = w.dist[v]
+				}
+			}
+			return float64(ch)
+		})
+		w.dist, w.next = w.next, w.dist
+		if changed == 0 {
+			return
+		}
+	}
+}
+
+func (w *ssspWork) BindHBC(d *Driver) error {
+	edges := &loopnest.Loop{
+		Name: "edges",
+		Bounds: func(env any, idx []int64) (int64, int64) {
+			g := env.(*ssspWork).g
+			return g.InPtr[idx[0]], g.InPtr[idx[0]+1]
+		},
+		Reduce: minFloat64(),
+		Body: func(env any, idx []int64, lo, hi int64, acc any) {
+			s := env.(*ssspWork)
+			a := acc.(*float64)
+			if b := s.relax(lo, hi); b < *a {
+				*a = b
+			}
+		},
+	}
+	nest := &loopnest.Nest{
+		Name: "sssp",
+		Root: &loopnest.Loop{
+			Name:     "verts",
+			Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*ssspWork).g.N },
+			Children: []*loopnest.Loop{edges},
+			Reduce:   loopnest.SumInt64(),
+			Post: func(env any, idx []int64, acc any, children []any) {
+				s := env.(*ssspWork)
+				v := idx[0]
+				b := *children[0].(*float64)
+				if b < s.dist[v] {
+					s.next[v] = b
+					*acc.(*int64)++
+				} else {
+					s.next[v] = s.dist[v]
+				}
+			},
+		},
+	}
+	return d.Load("round", nest, w)
+}
+
+func (w *ssspWork) RunHBC(d *Driver) {
+	w.initDist()
+	for {
+		changed := *d.Run("round").(*int64)
+		w.dist, w.next = w.next, w.dist
+		if changed == 0 {
+			return
+		}
+	}
+}
+
+func (w *ssspWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = graph.SSSP(w.g, 0)
+	}
+	// Bellman-Ford fixed points are exact: min/+ has no rounding ambiguity
+	// on these inputs, but compare with a hair of tolerance anyway.
+	if len(w.dist) != len(w.oracle) {
+		return fmt.Errorf("sssp: length mismatch")
+	}
+	for v := range w.dist {
+		if w.dist[v] != w.oracle[v] {
+			return fmt.Errorf("sssp: dist[%d] = %g, want %g", v, w.dist[v], w.oracle[v])
+		}
+	}
+	return nil
+}
+
+// --- collaborative filtering -----------------------------------------------------
+
+type cfWork struct {
+	grBase
+	lat, next []float64
+	oracle    []float64
+}
+
+func init() { register("cf", func() Workload { return &cfWork{} }) }
+
+func (w *cfWork) Info() Info { return Info{Name: "cf", Levels: 2} }
+
+func (w *cfWork) Prepare(scale float64) {
+	w.prepGraph(scale)
+	w.lat = make([]float64, w.g.N*graph.CFK)
+	w.next = make([]float64, len(w.lat))
+	w.oracle = nil
+}
+
+func (w *cfWork) initLat() {
+	for i := range w.lat {
+		w.lat[i] = 0.5 + float64(i%7)/14
+	}
+}
+
+// edgeGrad accumulates the gradient contribution of in-edges [plo, phi) of
+// vertex v into grad.
+func (w *cfWork) edgeGrad(v, plo, phi int64, grad []float64) {
+	base := v * graph.CFK
+	for p := plo; p < phi; p++ {
+		u := int64(w.g.InAdj[p]) * graph.CFK
+		var est float64
+		for k := int64(0); k < graph.CFK; k++ {
+			est += w.lat[base+k] * w.lat[u+k]
+		}
+		err := w.g.InW[p] - est
+		for k := int64(0); k < graph.CFK; k++ {
+			grad[k] += err * w.lat[u+k]
+		}
+	}
+}
+
+func (w *cfWork) apply(v int64, grad []float64) {
+	base := v * graph.CFK
+	for k := int64(0); k < graph.CFK; k++ {
+		w.next[base+k] = w.lat[base+k] + cfStep*grad[k]
+	}
+}
+
+func (w *cfWork) Serial() {
+	w.initLat()
+	grad := make([]float64, graph.CFK)
+	for it := 0; it < cfIters; it++ {
+		for v := int64(0); v < w.g.N; v++ {
+			for k := range grad {
+				grad[k] = 0
+			}
+			w.edgeGrad(v, w.g.InPtr[v], w.g.InPtr[v+1], grad)
+			w.apply(v, grad)
+		}
+		w.lat, w.next = w.next, w.lat
+	}
+}
+
+func (w *cfWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	w.initLat()
+	for it := 0; it < cfIters; it++ {
+		pool.For(cfg.Sched, 0, w.g.N, cfg.Chunk, func(lo, hi int64) {
+			var grad [graph.CFK]float64
+			for v := lo; v < hi; v++ {
+				for k := range grad {
+					grad[k] = 0
+				}
+				w.edgeGrad(v, w.g.InPtr[v], w.g.InPtr[v+1], grad[:])
+				w.apply(v, grad[:])
+			}
+		})
+		w.lat, w.next = w.next, w.lat
+	}
+}
+
+func (w *cfWork) BindHBC(d *Driver) error {
+	edges := &loopnest.Loop{
+		Name: "edges",
+		Bounds: func(env any, idx []int64) (int64, int64) {
+			g := env.(*cfWork).g
+			return g.InPtr[idx[0]], g.InPtr[idx[0]+1]
+		},
+		Reduce: loopnest.VecSumFloat64(graph.CFK),
+		Body: func(env any, idx []int64, lo, hi int64, acc any) {
+			env.(*cfWork).edgeGrad(idx[0], lo, hi, acc.([]float64))
+		},
+	}
+	nest := &loopnest.Nest{
+		Name: "cf",
+		Root: &loopnest.Loop{
+			Name:     "verts",
+			Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*cfWork).g.N },
+			Children: []*loopnest.Loop{edges},
+			Post: func(env any, idx []int64, _ any, children []any) {
+				env.(*cfWork).apply(idx[0], children[0].([]float64))
+			},
+		},
+	}
+	return d.Load("sweep", nest, w)
+}
+
+func (w *cfWork) RunHBC(d *Driver) {
+	w.initLat()
+	for it := 0; it < cfIters; it++ {
+		d.Run("sweep")
+		w.lat, w.next = w.next, w.lat
+	}
+}
+
+func (w *cfWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = graph.CF(w.g, cfIters, cfStep)
+	}
+	return floatsClose(w.lat, w.oracle, 1e-7, "cf")
+}

@@ -1,0 +1,273 @@
+package workloads
+
+import (
+	"math"
+
+	"hbc/internal/loopnest"
+	"hbc/internal/omp"
+)
+
+// mandelWork is the TPAL mandelbrot benchmark: per-pixel escape-time
+// iteration over a region of the complex plane. Its irregularity is the
+// fractal itself — neighboring pixels can differ by orders of magnitude in
+// iteration count — and the paper uses it to demonstrate that the optimal
+// chunk size is input-dependent (Figs. 10 and 11): a view inside the set
+// (high per-pixel latency) wants chunk 1, a zoomed-out view (low latency)
+// wants large chunks.
+type mandelWork struct {
+	rows, cols int64
+	maxIter    int64
+	x0, y0     float64 // top-left of the view
+	dx, dy     float64 // per-pixel step
+
+	out    []int32
+	oracle []int32
+}
+
+func init() {
+	register("mandelbrot", func() Workload {
+		return &mandelWork{}
+	})
+}
+
+func (w *mandelWork) Info() Info {
+	return Info{Name: "mandelbrot", TPALSet: true, ManualSet: true, Levels: 2}
+}
+
+func (w *mandelWork) Prepare(scale float64) {
+	w.rows = scaled(400, math.Sqrt(scale))
+	w.cols = scaled(400, math.Sqrt(scale))
+	w.maxIter = 600
+	w.SetView(-2.0, -1.25, 2.5, 2.5) // the standard full view: mixed latency
+	w.out = make([]int32, w.rows*w.cols)
+	w.oracle = nil
+}
+
+// SetView points the workload at the rectangle (x0, y0)–(x0+w, y0+h).
+func (w *mandelWork) SetView(x0, y0, width, height float64) {
+	w.x0, w.y0 = x0, y0
+	w.dx = width / float64(w.cols)
+	w.dy = height / float64(w.rows)
+	w.oracle = nil
+}
+
+// UseHighLatencyInput selects a view inside the set — every pixel runs the
+// full maxIter iterations (the paper's "input 1").
+func (w *mandelWork) UseHighLatencyInput() { w.SetView(-0.2, -0.2, 0.4, 0.4) }
+
+// UseLowLatencyInput selects a far-zoomed-out view — almost every pixel
+// escapes within a few iterations (the paper's "input 2").
+func (w *mandelWork) UseLowLatencyInput() { w.SetView(-20, -20, 40, 40) }
+
+// pixel computes the escape count for pixel (i, j).
+func (w *mandelWork) pixel(i, j int64) int32 {
+	cr := w.x0 + float64(j)*w.dx
+	ci := w.y0 + float64(i)*w.dy
+	var zr, zi float64
+	var it int64
+	for ; it < w.maxIter; it++ {
+		zr2, zi2 := zr*zr, zi*zi
+		if zr2+zi2 > 4 {
+			break
+		}
+		zr, zi = zr2-zi2+cr, 2*zr*zi+ci
+	}
+	return int32(it)
+}
+
+func (w *mandelWork) rowRange(i, jlo, jhi int64) {
+	base := i * w.cols
+	for j := jlo; j < jhi; j++ {
+		w.out[base+j] = w.pixel(i, j)
+	}
+}
+
+func (w *mandelWork) Serial() {
+	for i := int64(0); i < w.rows; i++ {
+		w.rowRange(i, 0, w.cols)
+	}
+}
+
+func (w *mandelWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	if !cfg.Nested {
+		pool.For(cfg.Sched, 0, w.rows, cfg.Chunk, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				w.rowRange(i, 0, w.cols)
+			}
+		})
+		return
+	}
+	n := pool.Size()
+	pool.For(cfg.Sched, 0, w.rows, cfg.Chunk, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			i := i
+			omp.NestedFor(n, cfg.Sched, 0, w.cols, cfg.Chunk, func(jlo, jhi int64) {
+				w.rowRange(i, jlo, jhi)
+			})
+		}
+	})
+}
+
+func (w *mandelWork) nest() *loopnest.Nest {
+	colLoop := &loopnest.Loop{
+		Name: "col",
+		Bounds: func(env any, _ []int64) (int64, int64) {
+			return 0, env.(*mandelWork).cols
+		},
+		Body: func(env any, idx []int64, lo, hi int64, _ any) {
+			env.(*mandelWork).rowRange(idx[0], lo, hi)
+		},
+	}
+	rowLoop := &loopnest.Loop{
+		Name: "row",
+		Bounds: func(env any, _ []int64) (int64, int64) {
+			return 0, env.(*mandelWork).rows
+		},
+		Children: []*loopnest.Loop{colLoop},
+	}
+	return &loopnest.Nest{Name: "mandelbrot", Root: rowLoop}
+}
+
+func (w *mandelWork) BindHBC(d *Driver) error { return d.Load("mandelbrot", w.nest(), w) }
+
+func (w *mandelWork) RunHBC(d *Driver) { d.Run("mandelbrot") }
+
+func (w *mandelWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = make([]int32, len(w.out))
+		save := w.out
+		w.out = w.oracle
+		w.Serial()
+		w.out = save
+	}
+	return int32sEqual(w.out, w.oracle, "mandelbrot")
+}
+
+// mandelbulbWork extends mandelbrot to three dimensions: per-voxel escape
+// iteration of the power-8 triplex map — the paper's second manual
+// benchmark with a three-deep DOALL nest.
+type mandelbulbWork struct {
+	nz, ny, nx int64
+	maxIter    int64
+	out        []int32
+	oracle     []int32
+}
+
+func init() {
+	register("mandelbulb", func() Workload { return &mandelbulbWork{} })
+}
+
+func (w *mandelbulbWork) Info() Info {
+	return Info{Name: "mandelbulb", TPALSet: false, ManualSet: true, Levels: 3}
+}
+
+func (w *mandelbulbWork) Prepare(scale float64) {
+	side := scaled(40, math.Cbrt(scale))
+	w.nz, w.ny, w.nx = side, side, side
+	w.maxIter = 40
+	w.out = make([]int32, w.nz*w.ny*w.nx)
+	w.oracle = nil
+}
+
+// voxel iterates v ← v^8 + c in triplex coordinates (White-Nylander
+// power-8 mandelbulb) for the grid cell (iz, iy, ix) of [-1.2,1.2]³.
+func (w *mandelbulbWork) voxel(iz, iy, ix int64) int32 {
+	step := func(i, n int64) float64 { return -1.2 + 2.4*float64(i)/float64(n-1) }
+	cx, cy, cz := step(ix, w.nx), step(iy, w.ny), step(iz, w.nz)
+	var x, y, z float64
+	const power = 8
+	var it int64
+	for ; it < w.maxIter; it++ {
+		r := math.Sqrt(x*x + y*y + z*z)
+		if r > 2 {
+			break
+		}
+		theta := math.Atan2(math.Sqrt(x*x+y*y), z)
+		phi := math.Atan2(y, x)
+		rp := math.Pow(r, power)
+		st, ct := math.Sincos(power * theta)
+		sp, cp := math.Sincos(power * phi)
+		x = rp*st*cp + cx
+		y = rp*st*sp + cy
+		z = rp*ct + cz
+	}
+	return int32(it)
+}
+
+func (w *mandelbulbWork) xRange(iz, iy, xlo, xhi int64) {
+	base := (iz*w.ny + iy) * w.nx
+	for ix := xlo; ix < xhi; ix++ {
+		w.out[base+ix] = w.voxel(iz, iy, ix)
+	}
+}
+
+func (w *mandelbulbWork) Serial() {
+	for iz := int64(0); iz < w.nz; iz++ {
+		for iy := int64(0); iy < w.ny; iy++ {
+			w.xRange(iz, iy, 0, w.nx)
+		}
+	}
+}
+
+func (w *mandelbulbWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	if !cfg.Nested {
+		pool.For(cfg.Sched, 0, w.nz, cfg.Chunk, func(lo, hi int64) {
+			for iz := lo; iz < hi; iz++ {
+				for iy := int64(0); iy < w.ny; iy++ {
+					w.xRange(iz, iy, 0, w.nx)
+				}
+			}
+		})
+		return
+	}
+	n := pool.Size()
+	pool.For(cfg.Sched, 0, w.nz, cfg.Chunk, func(lo, hi int64) {
+		for iz := lo; iz < hi; iz++ {
+			iz := iz
+			omp.NestedFor(n, cfg.Sched, 0, w.ny, cfg.Chunk, func(ylo, yhi int64) {
+				for iy := ylo; iy < yhi; iy++ {
+					iy := iy
+					omp.NestedFor(n, cfg.Sched, 0, w.nx, cfg.Chunk, func(xlo, xhi int64) {
+						w.xRange(iz, iy, xlo, xhi)
+					})
+				}
+			})
+		}
+	})
+}
+
+func (w *mandelbulbWork) nest() *loopnest.Nest {
+	xLoop := &loopnest.Loop{
+		Name:   "x",
+		Bounds: func(env any, _ []int64) (int64, int64) { return 0, env.(*mandelbulbWork).nx },
+		Body: func(env any, idx []int64, lo, hi int64, _ any) {
+			env.(*mandelbulbWork).xRange(idx[0], idx[1], lo, hi)
+		},
+	}
+	yLoop := &loopnest.Loop{
+		Name:     "y",
+		Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*mandelbulbWork).ny },
+		Children: []*loopnest.Loop{xLoop},
+	}
+	zLoop := &loopnest.Loop{
+		Name:     "z",
+		Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*mandelbulbWork).nz },
+		Children: []*loopnest.Loop{yLoop},
+	}
+	return &loopnest.Nest{Name: "mandelbulb", Root: zLoop}
+}
+
+func (w *mandelbulbWork) BindHBC(d *Driver) error { return d.Load("mandelbulb", w.nest(), w) }
+
+func (w *mandelbulbWork) RunHBC(d *Driver) { d.Run("mandelbulb") }
+
+func (w *mandelbulbWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = make([]int32, len(w.out))
+		save := w.out
+		w.out = w.oracle
+		w.Serial()
+		w.out = save
+	}
+	return int32sEqual(w.out, w.oracle, "mandelbulb")
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"hbc/internal/loopnest"
+	"hbc/internal/matrix"
+	"hbc/internal/omp"
+)
+
+// spmvWork is the paper's running example: sparse-matrix by dense-vector
+// product over one of the synthetic inputs (arrowhead, power-law, reversed
+// power-law, uniform random). The DOALL nest is the two-level structure of
+// Fig. 1: a row loop whose tail work writes out[i], and a column loop with
+// a scalar sum reduction.
+type spmvWork struct {
+	info Info
+	gen  func(scale float64) *matrix.CSR
+
+	m      *matrix.CSR
+	in     []float64
+	out    []float64
+	oracle []float64
+}
+
+func init() {
+	register("spmv-arrowhead", func() Workload {
+		return &spmvWork{
+			info: Info{Name: "spmv-arrowhead", TPALSet: true, ManualSet: true, Levels: 2},
+			gen: func(s float64) *matrix.CSR {
+				return matrix.Arrowhead(scaled(300_000, s))
+			},
+		}
+	})
+	register("spmv-powerlaw", func() Workload {
+		return &spmvWork{
+			info: Info{Name: "spmv-powerlaw", TPALSet: true, ManualSet: true, Levels: 2},
+			gen: func(s float64) *matrix.CSR {
+				n := scaled(40_000, s)
+				return matrix.PowerLaw(n, n/2, 0.8, 42)
+			},
+		}
+	})
+	register("spmv-powerlaw-reverse", func() Workload {
+		return &spmvWork{
+			// Fig. 12 only; not part of the paper's benchmark tables.
+			info: Info{Name: "spmv-powerlaw-reverse", Levels: 2, Aux: true},
+			gen: func(s float64) *matrix.CSR {
+				n := scaled(40_000, s)
+				return matrix.PowerLawReverse(n, n/2, 0.8, 42)
+			},
+		}
+	})
+	register("spmv-random", func() Workload {
+		return &spmvWork{
+			info: Info{Name: "spmv-random", Regular: true, TPALSet: true, ManualSet: true, Levels: 2},
+			gen: func(s float64) *matrix.CSR {
+				return matrix.Random(scaled(80_000, s), 12, 7)
+			},
+		}
+	})
+}
+
+func (w *spmvWork) Info() Info { return w.info }
+
+func (w *spmvWork) Prepare(scale float64) {
+	w.m = w.gen(scale)
+	w.in = make([]float64, w.m.Cols)
+	for i := range w.in {
+		w.in[i] = 1 + float64(i%13)/13
+	}
+	w.out = make([]float64, w.m.Rows)
+	w.oracle = nil
+}
+
+func (w *spmvWork) Serial() { w.m.SpMV(w.in, w.out) }
+
+func (w *spmvWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	m, in, out := w.m, w.in, w.out
+	if !cfg.Nested {
+		// The authors' recommended form: parallelize the outermost loop only.
+		pool.For(cfg.Sched, 0, m.Rows, cfg.Chunk, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				var s float64
+				for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+					s += m.Val[j] * in[m.ColInd[j]]
+				}
+				out[i] = s
+			}
+		})
+		return
+	}
+	// All-DOALL form (Fig. 15): the column loop becomes its own nested
+	// parallel region with a reduction, once per row.
+	n := pool.Size()
+	pool.For(cfg.Sched, 0, m.Rows, cfg.Chunk, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			out[i] = omp.NestedForReduce(n, cfg.Sched, m.RowPtr[i], m.RowPtr[i+1], cfg.Chunk,
+				func(jlo, jhi int64) float64 {
+					var s float64
+					for j := jlo; j < jhi; j++ {
+						s += m.Val[j] * in[m.ColInd[j]]
+					}
+					return s
+				})
+		}
+	})
+}
+
+// spmvNest builds the Fig. 1 loop nest over a CSR environment.
+func spmvNest(name string) *loopnest.Nest {
+	col := &loopnest.Loop{
+		Name: "col",
+		Bounds: func(env any, idx []int64) (int64, int64) {
+			m := env.(*spmvWork).m
+			return m.RowPtr[idx[0]], m.RowPtr[idx[0]+1]
+		},
+		Reduce: loopnest.SumFloat64(),
+		Body: func(env any, idx []int64, lo, hi int64, acc any) {
+			w := env.(*spmvWork)
+			m := w.m
+			s := acc.(*float64)
+			for j := lo; j < hi; j++ {
+				*s += m.Val[j] * w.in[m.ColInd[j]]
+			}
+		},
+	}
+	row := &loopnest.Loop{
+		Name: "row",
+		Bounds: func(env any, _ []int64) (int64, int64) {
+			return 0, env.(*spmvWork).m.Rows
+		},
+		Children: []*loopnest.Loop{col},
+		Post: func(env any, idx []int64, _ any, children []any) {
+			env.(*spmvWork).out[idx[0]] = *children[0].(*float64)
+		},
+	}
+	return &loopnest.Nest{Name: name, Root: row}
+}
+
+func (w *spmvWork) BindHBC(d *Driver) error {
+	return d.Load("spmv", spmvNest(w.info.Name), w)
+}
+
+func (w *spmvWork) RunHBC(d *Driver) { d.Run("spmv") }
+
+func (w *spmvWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = make([]float64, w.m.Rows)
+		w.m.SpMV(w.in, w.oracle)
+	}
+	return floatsClose(w.out, w.oracle, 1e-9, w.info.Name)
+}
+
+// Rows exposes the matrix row count for the Fig. 12 trace bucketing.
+func (w *spmvWork) Rows() int64 { return w.m.Rows }
+
+// RowNNZ exposes row i's nonzero count for the Fig. 12 trace bucketing.
+func (w *spmvWork) RowNNZ(i int64) int64 { return w.m.RowNNZ(i) }

@@ -1,0 +1,218 @@
+package workloads
+
+import (
+	"hbc/internal/loopnest"
+	"hbc/internal/omp"
+	"hbc/internal/tensor"
+)
+
+// ttmR is the column count of the ttm dense factor matrix.
+const ttmR = 8
+
+// tensorWork implements the TACO-derived ttv and ttm kernels over a
+// power-law CSF tensor (the NELL-2 stand-in). The DOALL nest is three deep:
+// the dense slice loop, the sparse fiber loop, and the entry loop — all
+// parallel, which is exactly the nesting TACO emits but only annotates at
+// the outermost level (§6.1).
+type tensorWork struct {
+	info Info
+	ttm  bool
+
+	t      *tensor.CSF3
+	vec    []float64 // ttv input vector
+	mat    []float64 // ttm input matrix K×ttmR
+	out    []float64
+	oracle []float64
+}
+
+func init() {
+	register("ttv", func() Workload {
+		return &tensorWork{info: Info{Name: "ttv", Levels: 3}}
+	})
+	register("ttm", func() Workload {
+		return &tensorWork{info: Info{Name: "ttm", Levels: 3}, ttm: true}
+	})
+}
+
+func (w *tensorWork) Info() Info { return w.info }
+
+func (w *tensorWork) Prepare(scale float64) {
+	i := scaled(6000, scale)
+	w.t = tensor.PowerLawTensor(i, 800, 600, 300, 60, 0.9, 23)
+	w.vec = make([]float64, w.t.K)
+	for k := range w.vec {
+		w.vec[k] = 1 + float64(k%9)/9
+	}
+	w.mat = make([]float64, w.t.K*ttmR)
+	for k := range w.mat {
+		w.mat[k] = 1 + float64(k%7)/7
+	}
+	if w.ttm {
+		w.out = make([]float64, w.t.I*w.t.J*ttmR)
+	} else {
+		w.out = make([]float64, w.t.I*w.t.J)
+	}
+	w.oracle = nil
+}
+
+func (w *tensorWork) clearOut() {
+	for i := range w.out {
+		w.out[i] = 0
+	}
+}
+
+// sliceRange runs slices [lo, hi) serially (the per-thread body of the
+// outer-only parallelization).
+func (w *tensorWork) sliceRange(lo, hi int64) {
+	t := w.t
+	for i := lo; i < hi; i++ {
+		for f := t.JPtr[i]; f < t.JPtr[i+1]; f++ {
+			if w.ttm {
+				w.fiberTTM(i, f)
+			} else {
+				w.out[i*t.J+int64(t.JInd[f])] = w.fiberTTV(f)
+			}
+		}
+	}
+}
+
+func (w *tensorWork) fiberTTV(f int64) float64 {
+	t := w.t
+	var s float64
+	for p := t.KPtr[f]; p < t.KPtr[f+1]; p++ {
+		s += t.Val[p] * w.vec[t.KInd[p]]
+	}
+	return s
+}
+
+func (w *tensorWork) fiberTTM(i, f int64) {
+	t := w.t
+	row := (i*t.J + int64(t.JInd[f])) * ttmR
+	for p := t.KPtr[f]; p < t.KPtr[f+1]; p++ {
+		v := t.Val[p]
+		mrow := int64(t.KInd[p]) * ttmR
+		for c := int64(0); c < ttmR; c++ {
+			w.out[row+c] += v * w.mat[mrow+c]
+		}
+	}
+}
+
+func (w *tensorWork) Serial() {
+	w.clearOut()
+	w.sliceRange(0, w.t.I)
+}
+
+func (w *tensorWork) OMP(pool *omp.Pool, cfg OMPConfig) {
+	w.clearOut()
+	if !cfg.Nested {
+		// TACO's emitted code: only the outermost loop carries a pragma.
+		pool.For(cfg.Sched, 0, w.t.I, cfg.Chunk, func(lo, hi int64) {
+			w.sliceRange(lo, hi)
+		})
+		return
+	}
+	t := w.t
+	nth := pool.Size()
+	pool.For(cfg.Sched, 0, t.I, cfg.Chunk, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			i := i
+			omp.NestedFor(nth, cfg.Sched, t.JPtr[i], t.JPtr[i+1], cfg.Chunk, func(flo, fhi int64) {
+				for f := flo; f < fhi; f++ {
+					if w.ttm {
+						w.fiberTTM(i, f)
+					} else {
+						w.out[i*t.J+int64(t.JInd[f])] = w.fiberTTV(f)
+					}
+				}
+			})
+		}
+	})
+}
+
+func (w *tensorWork) BindHBC(d *Driver) error {
+	// Leaf: the k-entry loop with a reduction (scalar for ttv, ttmR-vector
+	// for ttm); fiber Post writes the output cell(s).
+	var kLoop *loopnest.Loop
+	if w.ttm {
+		kLoop = &loopnest.Loop{
+			Name: "k",
+			Bounds: func(env any, idx []int64) (int64, int64) {
+				t := env.(*tensorWork).t
+				return t.KPtr[idx[1]], t.KPtr[idx[1]+1]
+			},
+			Reduce: loopnest.VecSumFloat64(ttmR),
+			Body: func(env any, _ []int64, lo, hi int64, acc any) {
+				tw := env.(*tensorWork)
+				t := tw.t
+				row := acc.([]float64)
+				for p := lo; p < hi; p++ {
+					v := t.Val[p]
+					mrow := int64(t.KInd[p]) * ttmR
+					for c := int64(0); c < ttmR; c++ {
+						row[c] += v * tw.mat[mrow+c]
+					}
+				}
+			},
+		}
+	} else {
+		kLoop = &loopnest.Loop{
+			Name: "k",
+			Bounds: func(env any, idx []int64) (int64, int64) {
+				t := env.(*tensorWork).t
+				return t.KPtr[idx[1]], t.KPtr[idx[1]+1]
+			},
+			Reduce: loopnest.SumFloat64(),
+			Body: func(env any, _ []int64, lo, hi int64, acc any) {
+				tw := env.(*tensorWork)
+				t := tw.t
+				s := acc.(*float64)
+				for p := lo; p < hi; p++ {
+					*s += t.Val[p] * tw.vec[t.KInd[p]]
+				}
+			},
+		}
+	}
+	fiberLoop := &loopnest.Loop{
+		Name: "fiber",
+		Bounds: func(env any, idx []int64) (int64, int64) {
+			t := env.(*tensorWork).t
+			return t.JPtr[idx[0]], t.JPtr[idx[0]+1]
+		},
+		Children: []*loopnest.Loop{kLoop},
+		Post: func(env any, idx []int64, _ any, children []any) {
+			tw := env.(*tensorWork)
+			t := tw.t
+			i, f := idx[0], idx[1]
+			if tw.ttm {
+				row := (i*t.J + int64(t.JInd[f])) * ttmR
+				acc := children[0].([]float64)
+				copy(tw.out[row:row+ttmR], acc)
+			} else {
+				tw.out[i*t.J+int64(t.JInd[f])] = *children[0].(*float64)
+			}
+		},
+	}
+	sliceLoop := &loopnest.Loop{
+		Name:     "slice",
+		Bounds:   func(env any, _ []int64) (int64, int64) { return 0, env.(*tensorWork).t.I },
+		Children: []*loopnest.Loop{fiberLoop},
+	}
+	return d.Load("tensor", &loopnest.Nest{Name: w.info.Name, Root: sliceLoop}, w)
+}
+
+func (w *tensorWork) RunHBC(d *Driver) {
+	w.clearOut()
+	d.Run("tensor")
+}
+
+func (w *tensorWork) Verify() error {
+	if w.oracle == nil {
+		w.oracle = make([]float64, len(w.out))
+		if w.ttm {
+			w.t.TTM(w.mat, ttmR, w.oracle)
+		} else {
+			w.t.TTV(w.vec, w.oracle)
+		}
+	}
+	return floatsClose(w.out, w.oracle, 1e-9, w.info.Name)
+}

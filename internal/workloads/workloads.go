@@ -1,0 +1,303 @@
+// Package workloads implements every benchmark of the paper's evaluation
+// (Table 1), each in three variants sharing one kernel definition:
+//
+//   - Serial: the reference implementation and correctness oracle;
+//   - OMP: the OpenMP-style baseline (static/dynamic/guided schedules,
+//     outermost-loop-only by default, optionally nested);
+//   - HBC: the heartbeat-scheduled version, expressed as DOALL loop nests
+//     compiled by internal/core.
+//
+// The first set is the eight iterative TPAL benchmarks (mandelbrot, three
+// spmv inputs, floyd-warshall, kmeans, plus-reduce-array, srad); the second
+// set adds mandelbulb, cg, the TACO tensor kernels (ttv, ttm) and the six
+// GraphIt graph benchmarks (bfs, cc, pr, pr-delta, sssp, cf). Real datasets
+// the paper downloads (cage15, NELL-2, Twitter, LiveJournal) are replaced by
+// synthetic generators with the same irregularity structure — see DESIGN.md.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hbc/internal/core"
+	"hbc/internal/loopnest"
+	"hbc/internal/omp"
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+)
+
+// Info describes a benchmark's place in the paper's evaluation.
+type Info struct {
+	// Name is the paper's benchmark name (e.g. "spmv-arrowhead").
+	Name string
+	// Regular mirrors Table 1's regularity column.
+	Regular bool
+	// TPALSet marks the eight iterative benchmarks shared with TPAL
+	// (Figs. 6–9).
+	TPALSet bool
+	// ManualSet marks benchmarks whose OpenMP pragmas are hand-written
+	// (Figs. 14–15).
+	ManualSet bool
+	// Levels is the DOALL nesting depth.
+	Levels int
+	// Aux marks inputs used only by specific experiments (e.g. the
+	// reversed power-law matrix of Fig. 12), excluded from benchmark sets.
+	Aux bool
+}
+
+// OMPConfig selects the baseline's scheduling decisions — the knobs the
+// paper's §6.7 sweeps by hand.
+type OMPConfig struct {
+	Sched omp.Schedule
+	// Chunk is the schedule's chunk size (0 = the schedule's default).
+	Chunk int64
+	// Nested parallelizes all DOALL loops (omp_set_max_active_levels style)
+	// instead of only the outermost — the Fig. 15 experiment.
+	Nested bool
+}
+
+// Workload is one benchmark bound to its inputs.
+type Workload interface {
+	Info() Info
+	// Prepare (re)builds inputs at the given scale factor; 1.0 is the
+	// default laptop-scale size. Must be called before any run.
+	Prepare(scale float64)
+	// Serial runs the reference implementation into the workload's outputs.
+	Serial()
+	// OMP runs the OpenMP-style baseline into the outputs.
+	OMP(pool *omp.Pool, cfg OMPConfig)
+	// BindHBC compiles the workload's loop nests onto the driver.
+	BindHBC(d *Driver) error
+	// RunHBC executes one invocation using the driver's execs.
+	RunHBC(d *Driver)
+	// Verify recomputes the oracle and compares the outputs of the most
+	// recent run.
+	Verify() error
+}
+
+// Driver manages the compiled HBC programs of one workload on one team. A
+// static Driver (NewStaticDriver) runs the same compiled nests under the
+// static scheduler instead — the paper's §6.8 complementary policy.
+type Driver struct {
+	Team   *sched.Team
+	Src    pulse.Source
+	Period time.Duration
+	Opts   core.Options
+
+	execs map[string]*core.Exec
+
+	static      bool
+	staticProgs map[string]*core.Program
+	staticEnvs  map[string]any
+}
+
+// NewDriver creates an HBC driver. The source is shared by all the
+// workload's nests and attached exactly once, here.
+func NewDriver(team *sched.Team, src pulse.Source, period time.Duration, opts core.Options) *Driver {
+	if period <= 0 {
+		period = core.DefaultHeartbeat
+	}
+	src.Attach(team.Size(), period)
+	return &Driver{Team: team, Src: src, Period: period, Opts: opts, execs: map[string]*core.Exec{}}
+}
+
+// NewStaticDriver creates a driver that executes every loaded nest under
+// the static block scheduler: no heartbeat source, no promotions.
+func NewStaticDriver(team *sched.Team) *Driver {
+	return &Driver{
+		Team:        team,
+		static:      true,
+		execs:       map[string]*core.Exec{},
+		staticProgs: map[string]*core.Program{},
+		staticEnvs:  map[string]any{},
+	}
+}
+
+// Load compiles a nest and prepares an Exec for it under the given name.
+func (d *Driver) Load(name string, nest *loopnest.Nest, env any) error {
+	p, err := core.Compile(nest, d.Opts)
+	if err != nil {
+		return fmt.Errorf("workloads: compiling %s: %w", name, err)
+	}
+	if d.static {
+		d.staticProgs[name] = p
+		d.staticEnvs[name] = env
+		return nil
+	}
+	d.execs[name] = core.NewExecShared(p, d.Team, d.Src, d.Period, env)
+	return nil
+}
+
+// Run executes one invocation of the named nest.
+func (d *Driver) Run(name string) any {
+	if d.static {
+		p, ok := d.staticProgs[name]
+		if !ok {
+			panic("workloads: nest not loaded: " + name)
+		}
+		return p.RunStatic(d.Team, d.staticEnvs[name])
+	}
+	x, ok := d.execs[name]
+	if !ok {
+		panic("workloads: nest not loaded: " + name)
+	}
+	return x.Run()
+}
+
+// Exec exposes the named nest's executor for statistics.
+func (d *Driver) Exec(name string) *core.Exec { return d.execs[name] }
+
+// Execs returns all executors, sorted by name, for aggregate statistics.
+func (d *Driver) Execs() []*core.Exec {
+	names := make([]string, 0, len(d.execs))
+	for n := range d.execs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*core.Exec, len(names))
+	for i, n := range names {
+		out[i] = d.execs[n]
+	}
+	return out
+}
+
+// Close detaches the shared heartbeat source (a no-op for static drivers,
+// which have none).
+func (d *Driver) Close() {
+	if d.Src != nil {
+		d.Src.Detach()
+	}
+}
+
+// Stats sums promotion statistics across the workload's nests.
+func (d *Driver) Stats() (promotions int64, byLevel []int64) {
+	for _, x := range d.Execs() {
+		st := x.Stats()
+		promotions += st.Promotions()
+		lv := st.ByLevel()
+		if len(lv) > len(byLevel) {
+			grown := make([]int64, len(lv))
+			copy(grown, byLevel)
+			byLevel = grown
+		}
+		for i, v := range lv {
+			byLevel[i] += v
+		}
+	}
+	return promotions, byLevel
+}
+
+// --- verification helpers ---------------------------------------------------
+
+// floatsClose compares two float slices with a relative-absolute tolerance;
+// heartbeat promotions reassociate reductions, so bit-exact equality is not
+// the contract for floating-point outputs.
+func floatsClose(got, want []float64, tol float64, label string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		d := math.Abs(got[i] - want[i])
+		if d > tol && d > tol*math.Abs(want[i]) {
+			return fmt.Errorf("%s: [%d] = %g, want %g (|Δ|=%g)", label, i, got[i], want[i], d)
+		}
+	}
+	return nil
+}
+
+func int32sEqual(got, want []int32, label string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: [%d] = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// scaled applies the scale factor with a floor of 1.
+func scaled(base int64, scale float64) int64 {
+	v := int64(float64(base) * scale)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// --- registry -----------------------------------------------------------------
+
+// New returns a fresh workload by paper name, or an error listing the
+// available names.
+func New(name string) (Workload, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+var registry = map[string]func() Workload{}
+
+func register(name string, ctor func() Workload) { registry[name] = ctor }
+
+// Names lists all registered benchmarks in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Irregular lists the irregular benchmarks (the Fig. 4 set).
+func Irregular() []string {
+	var out []string
+	for _, n := range Names() {
+		w, _ := New(n)
+		if info := w.Info(); !info.Regular && !info.Aux {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TPALSet lists the eight iterative TPAL benchmarks (the Fig. 6 set).
+func TPALSet() []string {
+	var out []string
+	for _, n := range Names() {
+		w, _ := New(n)
+		if w.Info().TPALSet {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ManualSet lists benchmarks with hand-written pragmas (Figs. 14–15).
+func ManualSet() []string {
+	var out []string
+	for _, n := range Names() {
+		w, _ := New(n)
+		if w.Info().ManualSet {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RegularSet lists the regular benchmarks (the Fig. 16 set).
+func RegularSet() []string {
+	var out []string
+	for _, n := range Names() {
+		w, _ := New(n)
+		if info := w.Info(); info.Regular && !info.Aux {
+			out = append(out, n)
+		}
+	}
+	return out
+}
