@@ -9,6 +9,10 @@
 //	hbcc kernels/spmv.hbk
 //	hbcc -workers 8 -heartbeat 100us -runs 3 kernels/escape.hbk
 //	hbcc -emit kernels/spmv.hbk     # print the compiled nest and exit
+//
+// Before compiling, hbcc statically verifies the kernel's `parallel for`
+// annotations (internal/analysis): proven races reject the kernel,
+// undecidable subscripts print as warnings. -vet=false skips the check.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"runtime"
 	"time"
 
+	"hbc/internal/analysis"
 	"hbc/internal/core"
 	"hbc/internal/frontend"
 	"hbc/internal/loopnest"
@@ -34,27 +39,39 @@ func main() {
 		emit      = flag.Bool("emit", false, "print the compiled loop nest and exit")
 		format    = flag.Bool("fmt", false, "print the canonically formatted kernel and exit")
 		trace     = flag.Bool("trace", false, "print the promotion timeline after the run")
+		vet       = flag.Bool("vet", true, "statically verify DOALL safety before running")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hbcc [flags] <kernel.hbk>")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
 	if err != nil {
 		fatal(err)
 	}
-	k, err := frontend.Parse(string(src))
-	if err != nil {
-		fatal(err)
-	}
-	c, err := frontend.Compile(k)
+	k, err := frontend.ParseFile(file, string(src))
 	if err != nil {
 		fatal(err)
 	}
 	if *format {
 		fmt.Print(frontend.Format(k))
 		return
+	}
+	if *vet {
+		diags := analysis.Vet(file, k)
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if analysis.HasErrors(diags) {
+			fmt.Fprintln(os.Stderr, "hbcc: kernel rejected: `parallel for` is not provably DOALL (-vet=false overrides)")
+			os.Exit(1)
+		}
+	}
+	c, err := frontend.Compile(k)
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Printf("kernel %s: %d loops, depth %d\n", k.Name, c.Nest.CountLoops(), c.Nest.Depth())
 	if *emit {

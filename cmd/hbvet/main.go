@@ -1,0 +1,191 @@
+// Command hbvet statically verifies kernel files: it proves (or refutes)
+// that every loop annotated `parallel for` is DOALL, checks reduction
+// discipline, and validates the pre/loop/post structure the heartbeat
+// middle-end expects — without running the kernel or materializing its
+// datasets. See internal/analysis for the rules.
+//
+// Usage:
+//
+//	hbvet kernels                  # check every .hbk under the tree
+//	hbvet kernels/spmv.hbk         # check one file
+//	hbvet -werror kernels          # fail on warnings too
+//
+// Output is file:line: diagnostics. The exit status is 1 if any kernel has
+// errors (or, with -werror, warnings).
+//
+// Negative fixtures: a kernel containing `# expect: <rule>` marker comments
+// declares the diagnostics it is supposed to trigger. hbvet verifies the
+// analyzer reports exactly the marked rules on the marked lines, prints
+// them, and counts the file as passing — so a corpus can carry known-bad
+// kernels (kernels/bad/) that double as regression tests for the analyzer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"hbc/internal/analysis"
+	"hbc/internal/frontend"
+)
+
+func main() {
+	var (
+		quiet  = flag.Bool("q", false, "suppress warnings")
+		werror = flag.Bool("werror", false, "treat warnings as errors")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hbvet [-q] [-werror] <kernel.hbk | dir>...")
+		os.Exit(2)
+	}
+
+	var files []string
+	for _, arg := range flag.Args() {
+		matches, err := collect(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbvet:", err)
+			os.Exit(2)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "hbvet: no .hbk files found")
+		os.Exit(2)
+	}
+
+	var failed, expected, warnings int
+	for _, f := range files {
+		res := check(f, *quiet, *werror)
+		if !res.ok {
+			failed++
+		}
+		if res.expected {
+			expected++
+		}
+		warnings += res.warnings
+	}
+	fmt.Printf("hbvet: %d kernel(s) checked", len(files))
+	if expected > 0 {
+		fmt.Printf(", %d with expected diagnostics", expected)
+	}
+	if warnings > 0 {
+		fmt.Printf(", %d warning(s)", warnings)
+	}
+	if failed > 0 {
+		fmt.Printf(", %d FAILED", failed)
+	}
+	fmt.Println()
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// collect expands a path argument into .hbk files (recursively for
+// directories).
+func collect(arg string) ([]string, error) {
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{arg}, nil
+	}
+	var files []string
+	err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".hbk") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+type result struct {
+	ok       bool
+	expected bool // carried # expect: markers that all matched
+	warnings int
+}
+
+func check(file string, quiet, werror bool) result {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbvet:", err)
+		return result{}
+	}
+	markers := expectMarkers(string(src))
+
+	k, err := frontend.ParseFile(file, string(src))
+	if err != nil {
+		fmt.Println(err)
+		return result{}
+	}
+	diags := analysis.Vet(file, k)
+
+	var errs, warns []analysis.Diag
+	for _, d := range diags {
+		if d.Severity == analysis.Err || werror {
+			errs = append(errs, d)
+		} else {
+			warns = append(warns, d)
+		}
+	}
+	for _, d := range warns {
+		if !quiet {
+			fmt.Println(d)
+		}
+	}
+
+	if len(markers) > 0 {
+		return checkExpected(file, markers, errs, warns)
+	}
+	for _, d := range errs {
+		fmt.Println(d)
+	}
+	return result{ok: len(errs) == 0, warnings: len(warns)}
+}
+
+// expectRe matches `# expect: <rule>` markers in fixture kernels.
+var expectRe = regexp.MustCompile(`#\s*expect:\s*([a-z-]+)`)
+
+// expectMarkers returns line -> expected rule for every marker comment.
+func expectMarkers(src string) map[int]string {
+	out := map[int]string{}
+	for i, line := range strings.Split(src, "\n") {
+		if m := expectRe.FindStringSubmatch(line); m != nil {
+			out[i+1] = m[1]
+		}
+	}
+	return out
+}
+
+// checkExpected verifies a negative fixture: every marker must be hit by an
+// error with the marked rule on the marked line, and no unmarked errors may
+// appear.
+func checkExpected(file string, markers map[int]string, errs, warns []analysis.Diag) result {
+	ok := true
+	matched := map[int]bool{}
+	for _, d := range errs {
+		fmt.Println(d)
+		if rule, want := markers[d.Line]; want && rule == d.Rule {
+			matched[d.Line] = true
+			continue
+		}
+		fmt.Printf("%s:%d: unexpected diagnostic [%s] in fixture\n", file, d.Line, d.Rule)
+		ok = false
+	}
+	for line, rule := range markers {
+		if !matched[line] {
+			fmt.Printf("%s:%d: missing expected diagnostic [%s]\n", file, line, rule)
+			ok = false
+		}
+	}
+	return result{ok: ok, expected: ok, warnings: len(warns)}
+}

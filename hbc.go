@@ -39,9 +39,12 @@
 package hbc
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
+	"hbc/internal/analysis"
 	"hbc/internal/core"
 	"hbc/internal/loopnest"
 	"hbc/internal/pulse"
@@ -213,8 +216,20 @@ type Program struct {
 
 // Compile lowers a loop nest through the heartbeat middle-end: loop-slice
 // task generation, chunking insertion, leftover-task generation, and task
-// linking (paper §3).
+// linking (paper §3). Before lowering, the nest is vetted
+// (internal/analysis): structural violations and broken Reduction contracts
+// — e.g. a Fresh that hands every task the same accumulator — are rejected
+// here rather than surfacing as races at run time.
 func Compile(nest *Nest, cfg Config) (*Program, error) {
+	if diags := analysis.VetNest(nest); analysis.HasErrors(diags) {
+		var msgs []string
+		for _, d := range diags {
+			if d.Severity == analysis.Err {
+				msgs = append(msgs, d.Msg)
+			}
+		}
+		return nil, fmt.Errorf("hbc: invalid nest: %s", strings.Join(msgs, "; "))
+	}
 	p, err := core.Compile(nest, cfg.coreOptions())
 	if err != nil {
 		return nil, err

@@ -1,0 +1,36 @@
+package hbc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Compile must reject a nest whose Reduction hands out a shared accumulator
+// before any task runs — the race would otherwise only show up as wrong
+// answers under promotion.
+func TestCompileRejectsSharedAccumulator(t *testing.T) {
+	shared := new(float64)
+	nest := &Nest{Name: "racy", Root: &Loop{
+		Name:   "r",
+		Bounds: func(any, []int64) (int64, int64) { return 0, 100 },
+		Body:   func(env any, idx []int64, lo, hi int64, acc any) {},
+		Reduce: &Reduction{
+			Fresh: func() any { return shared },
+			Merge: func(into, from any) {},
+		},
+	}}
+	_, err := Compile(nest, Config{})
+	if err == nil {
+		t.Fatal("Compile accepted a reduction with a shared accumulator")
+	}
+	if !strings.Contains(err.Error(), "invalid nest") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCompileRejectsMalformedNest(t *testing.T) {
+	_, err := Compile(&Nest{Name: "noshape", Root: &Loop{Name: "l"}}, Config{})
+	if err == nil {
+		t.Fatal("Compile accepted a loop with neither Body nor Children")
+	}
+}

@@ -1,0 +1,329 @@
+package analysis
+
+// Affine subscript forms and the dependence tests over them. A subscript is
+// put into the shape
+//
+//	sum_v c_v * v  +  k
+//
+// where each v is a loop variable or an opaque loop-invariant symbol (a
+// dataset scalar like A.rows), the c_v are compile-time integer constants,
+// and k is a constant. Subscripts that do not fit the shape — indirect
+// accesses like colInd[j], products of variables, division — are non-affine
+// and reported conservatively as warnings rather than proven safe or unsafe.
+
+import (
+	"hbc/internal/frontend"
+)
+
+// aff is an affine form: Terms maps a variable or symbol name to its
+// integer coefficient (never 0), K is the constant part.
+type aff struct {
+	Terms map[string]int64
+	K     int64
+}
+
+func (a *aff) coeff(v string) int64 { return a.Terms[v] }
+
+func (a *aff) add(b *aff, sign int64) {
+	for v, c := range b.Terms {
+		a.Terms[v] += sign * c
+		if a.Terms[v] == 0 {
+			delete(a.Terms, v)
+		}
+	}
+	a.K += sign * b.K
+}
+
+func (a *aff) scale(c int64) {
+	if c == 0 {
+		a.Terms = map[string]int64{}
+		a.K = 0
+		return
+	}
+	for v := range a.Terms {
+		a.Terms[v] *= c
+	}
+	a.K *= c
+}
+
+// affineOf lowers an expression to an affine form over loop variables and
+// invariant symbols, or reports !ok. Known scalars fold to constants;
+// assign-once locals are substituted by the affine form of their
+// initializer, frozen at declaration time (forms reference only loop
+// variables and constants, both immutable, so freezing is sound).
+func (v *vetter) affineOf(e frontend.Expr) (*aff, bool) {
+	switch x := e.(type) {
+	case *frontend.IntLit:
+		return &aff{Terms: map[string]int64{}, K: x.Value}, true
+	case *frontend.FloatLit:
+		return nil, false
+	case *frontend.Ident:
+		s, ok := v.syms[x.Name]
+		if !ok {
+			return nil, false
+		}
+		switch s.kind {
+		case kScalarConst:
+			return &aff{Terms: map[string]int64{}, K: s.val}, true
+		case kScalarSym, kLoopVar:
+			return &aff{Terms: map[string]int64{x.Name: 1}, K: 0}, true
+		case kLocal:
+			if f := v.localForms[x.Name]; f != nil {
+				cp := &aff{Terms: map[string]int64{}, K: f.K}
+				for t, c := range f.Terms {
+					cp.Terms[t] = c
+				}
+				return cp, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	case *frontend.UnaryExpr:
+		if x.Op != "-" {
+			return nil, false
+		}
+		f, ok := v.affineOf(x.X)
+		if !ok {
+			return nil, false
+		}
+		f.scale(-1)
+		return f, true
+	case *frontend.BinExpr:
+		switch x.Op {
+		case "+", "-":
+			l, ok := v.affineOf(x.L)
+			if !ok {
+				return nil, false
+			}
+			r, ok := v.affineOf(x.R)
+			if !ok {
+				return nil, false
+			}
+			sign := int64(1)
+			if x.Op == "-" {
+				sign = -1
+			}
+			l.add(r, sign)
+			return l, true
+		case "*":
+			l, lok := v.affineOf(x.L)
+			r, rok := v.affineOf(x.R)
+			if !lok || !rok {
+				return nil, false
+			}
+			switch {
+			case len(l.Terms) == 0:
+				r.scale(l.K)
+				return r, true
+			case len(r.Terms) == 0:
+				l.scale(r.K)
+				return l, true
+			}
+			return nil, false
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// --- dependence testing -------------------------------------------------------
+
+// verdict classifies a pair of accesses with respect to one parallel loop.
+type verdict int
+
+const (
+	vIndependent verdict = iota
+	vConflict            // a dependence provably exists between distinct iterations
+	vMaybe               // cannot prove independence
+)
+
+// interval is an inclusive integer range.
+type interval struct{ lo, hi int64 }
+
+func (iv interval) add(o interval) interval { return interval{iv.lo + o.lo, iv.hi + o.hi} }
+
+// contribution returns the interval of c*v for v in [lo, hi-1].
+func contribution(c, lo, hi int64) interval {
+	a, b := c*lo, c*(hi-1)
+	if a > b {
+		a, b = b, a
+	}
+	return interval{a, b}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	a, b = abs64(a), abs64(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// pairDep decides whether two accesses (w a write, x a write or read) can
+// touch the same element in two distinct iterations of the parallel loop P.
+// Both accesses lie in P's subtree; their paths share the prefix up to and
+// including P. dist receives the dependence distance when the verdict is an
+// exact SIV conflict (0 when unknown or not applicable).
+func pairDep(P *loopRec, w, x *access) (verdict, int64) {
+	cw, cx := w.form.coeff(P.v), x.form.coeff(P.v)
+
+	// Partition the remaining terms: variables declared inside P's subtree
+	// vary freely between the two iterations (each side independently);
+	// everything else — outer loop variables and invariant symbols — holds
+	// one fixed value shared by both sides, so equal coefficients cancel.
+	inner := interval{0, 0}
+	innerVars := 0
+	innerGCD := int64(0)
+	unknownInner := false
+	collect := func(a *access, sign int64) {
+		for _, ent := range a.path {
+			if !ent.inside(P) {
+				continue
+			}
+			c := a.form.coeff(ent.v)
+			if c == 0 {
+				continue
+			}
+			innerVars++
+			innerGCD = gcd64(innerGCD, c)
+			if !ent.known {
+				unknownInner = true
+				continue
+			}
+			if ent.hi <= ent.lo { // loop never runs; caller filters, be safe
+				continue
+			}
+			inner = inner.add(contribution(sign*c, ent.lo, ent.hi))
+		}
+	}
+	collect(w, 1)
+	collect(x, -1)
+
+	// Fixed (outer / invariant) terms must cancel exactly; a coefficient
+	// mismatch leaves an unknown constant offset in the equation.
+	unknownOffset := false
+	for _, f := range []*aff{w.form, x.form} {
+		for v := range f.Terms {
+			if v == P.v || isInnerVar(v, w, x, P) {
+				continue
+			}
+			if w.form.coeff(v) != x.form.coeff(v) {
+				unknownOffset = true
+			}
+		}
+	}
+
+	dk := w.form.K - x.form.K // constant part of sub_w - sub_x
+
+	if unknownOffset {
+		return vMaybe, 0
+	}
+
+	// Dependence equation: cw*p1 - cx*p2 + inner + dk = 0 with p1 != p2.
+	switch {
+	case cw == cx && cw == 0:
+		// ZIV in P: the subscripts do not vary with P's variable, so any
+		// element they can both reach is reached by every iteration of P.
+		if innerVars == 0 {
+			if dk == 0 {
+				return vConflict, 0
+			}
+			return vIndependent, 0
+		}
+		if dk == 0 {
+			// Attainable trivially: pick identical inner iterations.
+			return vConflict, 0
+		}
+		if unknownInner {
+			return vMaybe, 0
+		}
+		if innerGCD != 0 && dk%innerGCD != 0 {
+			return vIndependent, 0
+		}
+		if -dk < inner.lo || -dk > inner.hi {
+			return vIndependent, 0
+		}
+		return vMaybe, 0
+
+	case cw == cx:
+		c := cw
+		// Strong SIV: cw == cx == c != 0, so c*(p1-p2) = -(inner + dk).
+		if innerVars == 0 {
+			if dk%c != 0 {
+				return vIndependent, 0 // exact: no integer solution
+			}
+			d := -dk / c
+			if d == 0 {
+				return vIndependent, 0 // same iteration only
+			}
+			if P.known && abs64(d) >= P.hi-P.lo {
+				return vIndependent, 0 // distance exceeds the trip count
+			}
+			return vConflict, abs64(d)
+		}
+		if unknownInner {
+			return vMaybe, 0
+		}
+		// Banded SIV: the free inner terms plus dk are bounded; if the band
+		// (-|c|, |c|) contains the whole reachable offset, no nonzero
+		// multiple of c is reachable and the iterations are independent
+		// (escape's out[py*w + px] with px in [0, w)).
+		if inner.lo+dk > -abs64(c) && inner.hi+dk < abs64(c) {
+			return vIndependent, 0
+		}
+		return vMaybe, 0
+
+	default:
+		// Coefficients differ. The exact sub-case: one side is fixed in P
+		// (coefficient 0) and the other varies — out[i] against out[5] —
+		// where the single colliding iteration p solves c*p + dk' = 0 and
+		// then conflicts with every other iteration touching the fixed
+		// element.
+		if innerVars == 0 && (cw == 0 || cx == 0) {
+			// Orient so the varying side carries c: cw*p1 - cx*p2 = -dk.
+			c, rhs := cw, -dk
+			if cw == 0 {
+				c, rhs = -cx, -dk
+			}
+			if rhs%c != 0 {
+				return vIndependent, 0
+			}
+			p := rhs / c
+			if P.known && (p < P.lo || p >= P.hi) {
+				return vIndependent, 0 // the colliding iteration never runs
+			}
+			if P.known && P.hi-P.lo < 2 {
+				return vIndependent, 0 // no second iteration to race with
+			}
+			return vConflict, 0
+		}
+		if innerVars == 0 {
+			// MIV-style GCD test on cw*p1 - cx*p2 = -dk.
+			if g := gcd64(cw, cx); g != 0 && dk%g != 0 {
+				return vIndependent, 0
+			}
+		}
+		return vMaybe, 0
+	}
+}
+
+// isInnerVar reports whether name is a loop variable declared inside P's
+// subtree on either access's path.
+func isInnerVar(name string, w, x *access, P *loopRec) bool {
+	for _, a := range []*access{w, x} {
+		for _, ent := range a.path {
+			if ent.v == name && ent.inside(P) {
+				return true
+			}
+		}
+	}
+	return false
+}

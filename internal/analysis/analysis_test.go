@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"hbc/internal/frontend"
+)
+
+// vet parses an inline kernel and runs the analyzer on it.
+func vet(t *testing.T, src string) []Diag {
+	t.Helper()
+	k, err := frontend.ParseFile("test.hbk", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Vet("test.hbk", k)
+}
+
+// want asserts that diags contains a diagnostic with the given rule,
+// severity, and line.
+func want(t *testing.T, diags []Diag, rule string, sev Severity, line int) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Rule == rule && d.Severity == sev && d.Line == line {
+			return
+		}
+	}
+	t.Fatalf("missing %v diagnostic [%s] at line %d; got %v", sev, rule, line, diags)
+}
+
+func clean(t *testing.T, src string) {
+	t.Helper()
+	if diags := vet(t, src); len(diags) != 0 {
+		t.Fatalf("expected no diagnostics, got %v", diags)
+	}
+}
+
+func TestCleanSimpleMap(t *testing.T) {
+	clean(t, `kernel map
+let n = 100
+array out float[n]
+parallel for i = 0 .. n {
+    out[i] = 2.0
+}
+`)
+}
+
+func TestCleanReduction(t *testing.T) {
+	clean(t, `kernel spmvlike
+let n = 100
+matrix A = random(n, 8)
+array out float[A.rows]
+parallel for i = 0 .. A.rows {
+    sum s = 0.0
+    parallel for j = A.rowPtr[i] .. A.rowPtr[i+1] reduce(s) {
+        s += A.val[j]
+    }
+    out[i] = s
+}
+`)
+}
+
+// The escape-style pattern: out[py*w + px] with px ranging over [0, w) is
+// provably race-free (banded SIV: the inner offset stays inside one stride).
+func TestCleanBandedStride(t *testing.T) {
+	clean(t, `kernel grid
+let w = 300
+let h = 200
+array out int[w * h]
+parallel for py = 0 .. h {
+    parallel for px = 0 .. w {
+        out[py * w + px] = px
+    }
+}
+`)
+}
+
+// Writes to out[i] in every branch of an if: distinct iterations write
+// distinct elements, same iteration rewrites its own.
+func TestCleanBranchWrites(t *testing.T) {
+	clean(t, `kernel branchy
+let n = 64
+array out float[n]
+parallel for i = 0 .. n {
+    if i % 2 == 0 {
+        out[i] = 1.0
+    } else {
+        out[i] = 2.0
+    }
+}
+`)
+}
+
+// a[2*i] and a[2*i+1] never collide (strong SIV, 1 not divisible by 2).
+func TestCleanStrideTwo(t *testing.T) {
+	clean(t, `kernel evens
+let n = 50
+array a float[2 * n]
+parallel for i = 0 .. n {
+    a[2 * i] = 1.0
+    a[2 * i + 1] = 2.0
+}
+`)
+}
+
+func TestWriteWriteFixedElement(t *testing.T) {
+	diags := vet(t, `kernel hot
+let n = 64
+array out int[n]
+parallel for i = 0 .. n {
+    out[0] = i
+}
+`)
+	want(t, diags, RuleWriteWrite, Err, 5)
+}
+
+// Every outer iteration writes out[px] for px in [0, n): the subscript does
+// not involve the outer loop variable at all, so outer iterations collide.
+func TestWriteWriteInnerOnlySubscript(t *testing.T) {
+	diags := vet(t, `kernel smear
+let n = 16
+array out int[n]
+parallel for i = 0 .. n {
+    parallel for px = 0 .. n {
+        out[px] = i
+    }
+}
+`)
+	want(t, diags, RuleWriteWrite, Err, 6)
+}
+
+func TestLoopCarriedDistance(t *testing.T) {
+	diags := vet(t, `kernel carry
+let n = 100
+array a float[n + 1]
+parallel for i = 1 .. n {
+    a[i] = a[i - 1] * 0.5
+}
+`)
+	want(t, diags, RuleLoopCarried, Err, 5)
+}
+
+// The same dependence routed through a local must still be caught: the
+// local's value is frozen to the affine form of its initializer.
+func TestLoopCarriedThroughLocal(t *testing.T) {
+	diags := vet(t, `kernel carry2
+let n = 100
+array a float[n + 1]
+parallel for i = 1 .. n {
+    let t = a[i - 1]
+    a[i] = t * 0.5
+}
+`)
+	want(t, diags, RuleLoopCarried, Err, 6)
+}
+
+func TestMayAliasIndirectWrite(t *testing.T) {
+	diags := vet(t, `kernel scatter
+let n = 100
+matrix A = random(n, 4)
+array out float[n]
+parallel for i = 0 .. A.rows {
+    out[A.colInd[i]] = 1.0
+}
+`)
+	want(t, diags, RuleNonAffine, Warn, 6)
+}
+
+// Indirect reads of arrays that are never written stay silent: x[colInd[j]]
+// is the bread and butter of sparse kernels.
+func TestIndirectReadOnlyIsSilent(t *testing.T) {
+	clean(t, `kernel gather
+let n = 100
+matrix A = random(n, 4)
+array out float[A.rows]
+parallel for i = 0 .. A.rows {
+    sum s = 0.0
+    parallel for j = A.rowPtr[i] .. A.rowPtr[i+1] reduce(s) {
+        s += A.val[j] * A.val[A.colInd[j]]
+    }
+    out[i] = s
+}
+`)
+}
+
+func TestReductionAssign(t *testing.T) {
+	diags := vet(t, `kernel redassign
+let n = 10
+array out float[n]
+parallel for i = 0 .. n {
+    sum s = 0.0
+    parallel for j = 0 .. n reduce(s) {
+        s = 1.0
+    }
+    out[i] = s
+}
+`)
+	want(t, diags, RuleRedAssign, Err, 7)
+}
+
+func TestReductionRead(t *testing.T) {
+	diags := vet(t, `kernel redread
+let n = 10
+array out float[n]
+parallel for i = 0 .. n {
+    sum s = 0.0
+    parallel for j = 0 .. n reduce(s) {
+        s += s * 2.0
+    }
+    out[i] = s
+}
+`)
+	want(t, diags, RuleRedRead, Err, 7)
+}
+
+func TestReductionIdentity(t *testing.T) {
+	diags := vet(t, `kernel redinit
+let n = 10
+array out float[n]
+parallel for i = 0 .. n {
+    sum s = 3.0
+    parallel for j = 0 .. n reduce(s) {
+        s += 1.0
+    }
+    out[i] = s
+}
+`)
+	want(t, diags, RuleRedIdentity, Err, 5)
+}
+
+func TestLoopVarWrite(t *testing.T) {
+	diags := vet(t, `kernel lv
+let n = 10
+array out float[n]
+parallel for i = 0 .. n {
+    i = 0
+    out[i] = 1.0
+}
+`)
+	want(t, diags, RuleLoopVar, Err, 5)
+}
+
+func TestUndefinedName(t *testing.T) {
+	diags := vet(t, `kernel undef
+let n = 10
+array out float[n]
+parallel for i = 0 .. n {
+    out[i] = bogus
+}
+`)
+	want(t, diags, RuleUndefined, Err, 5)
+}
+
+func TestBoundsMustBeEnclosing(t *testing.T) {
+	diags := vet(t, `kernel badbound
+let n = 10
+array out float[n]
+parallel for i = 0 .. n {
+    sum s = 0.0
+    parallel for j = 0 .. s reduce(s) {
+        s += 1.0
+    }
+    out[i] = s
+}
+`)
+	want(t, diags, RuleBoundsScope, Err, 6)
+}
+
+// The four shipped kernels must verify completely clean — no errors, no
+// warnings. This is the analyzer's precision bar: if a legal kernel trips a
+// warning, the tests fail and the dependence tests need sharpening.
+func TestShippedKernelsClean(t *testing.T) {
+	for _, file := range []string{"spmv", "escape", "stencil", "powersum"} {
+		t.Run(file, func(t *testing.T) {
+			path := "../../kernels/" + file + ".hbk"
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k, err := frontend.ParseFile(path, string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diags := Vet(path, k); len(diags) != 0 {
+				t.Fatalf("shipped kernel %s not clean: %v", file, diags)
+			}
+		})
+	}
+}
+
+func TestDiagString(t *testing.T) {
+	d := Diag{File: "k.hbk", Line: 7, Rule: RuleWriteWrite, Severity: Err, Msg: "boom"}
+	if got := d.String(); !strings.Contains(got, "k.hbk:7:") || !strings.Contains(got, "[write-write]") {
+		t.Fatalf("bad Diag.String: %q", got)
+	}
+}

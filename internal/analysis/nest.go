@@ -1,0 +1,93 @@
+package analysis
+
+// Vetting for hand-built loopnest.Nest values, the Go API path. Bodies and
+// bounds are opaque closures there, so subscript-level dependence testing is
+// impossible; what can be verified is the structural contract the heartbeat
+// middle-end and runtime rely on, plus the observable parts of the
+// Reduction contract — which a wrong hand-written nest violates silently at
+// run time (shared accumulators, nil identities) rather than at compile
+// time.
+
+import (
+	"reflect"
+
+	"hbc/internal/loopnest"
+)
+
+// VetNest checks a declarative loop nest before compilation. Structural
+// violations (also caught by Nest.Validate) and Reduction contract
+// violations are errors; stylistic findings are warnings. hbc.Compile runs
+// this and refuses nests with errors.
+func VetNest(n *loopnest.Nest) []Diag {
+	var ds []Diag
+	if err := n.Validate(); err != nil {
+		ds = append(ds, Diag{Rule: RuleNestShape, Severity: Err, Msg: err.Error()})
+		// The tree may be malformed (cycles, nil children); don't walk it.
+		return ds
+	}
+	names := map[string]bool{}
+	var walk func(l *loopnest.Loop)
+	walk = func(l *loopnest.Loop) {
+		if l.Name != "" {
+			if names[l.Name] {
+				ds = append(ds, Diag{Rule: RuleNestNames, Severity: Warn,
+					Msg: "duplicate loop name " + l.Name + " (statistics and diagnostics will conflate them)"})
+			}
+			names[l.Name] = true
+		}
+		if r := l.Reduce; r != nil {
+			ds = append(ds, vetReduction(l.Name, r)...)
+		}
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	walk(n.Root)
+	return ds
+}
+
+// vetReduction probes the observable Reduction contract: Fresh must return
+// a non-nil accumulator and must return a distinct accumulator on each
+// call. Promotions hand each stolen task its own Fresh() value; if Fresh
+// returns a shared value (a captured pointer is the classic mistake), every
+// task accumulates into the same storage and the "reduction" races exactly
+// like the unsynchronized loop it was meant to replace.
+func vetReduction(name string, r *loopnest.Reduction) []Diag {
+	var ds []Diag
+	a, b := r.Fresh(), r.Fresh()
+	if a == nil || b == nil {
+		return append(ds, Diag{Rule: RuleNestReduce, Severity: Err,
+			Msg: "reduction on loop " + quoteName(name) + ": Fresh() returned nil"})
+	}
+	if sameStorage(a, b) {
+		ds = append(ds, Diag{Rule: RuleNestReduce, Severity: Err,
+			Msg: "reduction on loop " + quoteName(name) +
+				": Fresh() returned the same accumulator twice; task-private accumulators would share storage and race"})
+	}
+	return ds
+}
+
+func quoteName(name string) string {
+	if name == "" {
+		return "(unnamed)"
+	}
+	return "\"" + name + "\""
+}
+
+// sameStorage reports whether two accumulators alias the same backing
+// storage, for the reference kinds a Reduction can sensibly return.
+func sameStorage(a, b any) bool {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	if va.Kind() != vb.Kind() {
+		return false
+	}
+	switch va.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Chan, reflect.UnsafePointer:
+		return va.Pointer() == vb.Pointer()
+	case reflect.Slice:
+		// Distinct empty slices share no elements; only compare data
+		// pointers when there is storage to share.
+		return va.Len() > 0 && vb.Len() > 0 && va.Pointer() == vb.Pointer()
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"testing"
+
+	"hbc/internal/loopnest"
+)
+
+func leaf(name string) *loopnest.Loop {
+	return &loopnest.Loop{
+		Name:   name,
+		Bounds: func(any, []int64) (int64, int64) { return 0, 10 },
+		Body:   func(any, []int64, int64, int64, any) {},
+	}
+}
+
+func goodReduce() *loopnest.Reduction {
+	return &loopnest.Reduction{
+		Fresh: func() any { return new(float64) },
+		Merge: func(into, from any) { *into.(*float64) += *from.(*float64) },
+	}
+}
+
+func TestVetNestClean(t *testing.T) {
+	inner := leaf("inner")
+	inner.Reduce = goodReduce()
+	n := &loopnest.Nest{Name: "ok", Root: &loopnest.Loop{
+		Name:     "outer",
+		Bounds:   func(any, []int64) (int64, int64) { return 0, 10 },
+		Children: []*loopnest.Loop{inner},
+	}}
+	if ds := VetNest(n); len(ds) != 0 {
+		t.Fatalf("clean nest produced diagnostics: %v", ds)
+	}
+}
+
+func TestVetNestInvalidShape(t *testing.T) {
+	n := &loopnest.Nest{Name: "broken", Root: &loopnest.Loop{Name: "l"}}
+	ds := VetNest(n)
+	if !HasErrors(ds) {
+		t.Fatalf("want shape error, got %v", ds)
+	}
+	if ds[0].Rule != RuleNestShape {
+		t.Fatalf("want rule %s, got %v", RuleNestShape, ds[0])
+	}
+}
+
+func TestVetNestSharedAccumulator(t *testing.T) {
+	shared := new(float64)
+	l := leaf("r")
+	l.Reduce = &loopnest.Reduction{
+		Fresh: func() any { return shared }, // the classic captured-pointer bug
+		Merge: func(into, from any) {},
+	}
+	ds := VetNest(&loopnest.Nest{Name: "racy", Root: l})
+	if !HasErrors(ds) {
+		t.Fatalf("want shared-accumulator error, got %v", ds)
+	}
+	if ds[0].Rule != RuleNestReduce {
+		t.Fatalf("want rule %s, got %v", RuleNestReduce, ds[0])
+	}
+}
+
+func TestVetNestNilFresh(t *testing.T) {
+	l := leaf("r")
+	l.Reduce = &loopnest.Reduction{
+		Fresh: func() any { return nil },
+		Merge: func(into, from any) {},
+	}
+	ds := VetNest(&loopnest.Nest{Name: "niller", Root: l})
+	if !HasErrors(ds) {
+		t.Fatalf("want nil-Fresh error, got %v", ds)
+	}
+}
+
+func TestVetNestDuplicateNames(t *testing.T) {
+	n := &loopnest.Nest{Name: "dup", Root: &loopnest.Loop{
+		Name:     "outer",
+		Bounds:   func(any, []int64) (int64, int64) { return 0, 10 },
+		Children: []*loopnest.Loop{leaf("x"), leaf("x")},
+	}}
+	ds := VetNest(n)
+	if HasErrors(ds) {
+		t.Fatalf("duplicate names must only warn, got %v", ds)
+	}
+	if len(ds) != 1 || ds[0].Rule != RuleNestNames {
+		t.Fatalf("want one %s warning, got %v", RuleNestNames, ds)
+	}
+}

@@ -7,6 +7,9 @@ package frontend
 // Kernel is a parsed kernel file.
 type Kernel struct {
 	Name string
+	// File is the source file name diagnostics are reported against.
+	// Set by ParseFile; empty for Parse.
+	File string
 	// Decls are the header declarations in order.
 	Decls []Decl
 	// Root is the top-level parallel loop.

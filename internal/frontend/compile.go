@@ -99,6 +99,7 @@ type sym struct {
 
 // compiler carries compilation state.
 type compiler struct {
+	file   string // kernel source file, for file:line diagnostics
 	env    *Env
 	syms   map[string]sym
 	nVars  int // int slots: loop variables and int locals
@@ -109,7 +110,7 @@ type compiler struct {
 }
 
 func (c *compiler) errf(line int, format string, args ...any) error {
-	return fmt.Errorf("frontend: line %d: %s", line, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%s: %s", srcPos(c.file, line), fmt.Sprintf(format, args...))
 }
 
 // Compile type-checks the kernel, materializes its environment (evaluating
@@ -117,6 +118,7 @@ func (c *compiler) errf(line int, format string, args ...any) error {
 // structure to a loopnest.Nest.
 func Compile(k *Kernel) (*Compiled, error) {
 	c := &compiler{
+		file: k.File,
 		env:  &Env{scalars: map[string]int64{}, intArr: map[string][]int64{}, fltArr: map[string][]float64{}},
 		syms: map[string]sym{},
 	}

@@ -114,7 +114,12 @@ func FormatExpr(e Expr) string {
 		return strconv.FormatInt(x.Value, 10)
 	case *FloatLit:
 		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
-		if !strings.ContainsAny(s, ".eE") {
+		if strings.ContainsAny(s, "eE") {
+			// The lexer accepts only digits '.' digits — no exponent form —
+			// so spell the value out to keep Format output re-parseable.
+			s = strconv.FormatFloat(x.Value, 'f', -1, 64)
+		}
+		if !strings.Contains(s, ".") {
 			s += ".0"
 		}
 		return s

@@ -1,0 +1,88 @@
+package frontend
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzParse checks the parser/formatter round trip: any source the parser
+// accepts must format to source the parser accepts again, and the two ASTs
+// must be identical up to line numbers. This pins down both formatter bugs
+// (emitting syntax the lexer rejects, e.g. exponent-form floats) and parser
+// bugs (panics or stack overflow on adversarial input).
+func FuzzParse(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join("..", "..", "kernels", "*.hbk"))
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("kernel k\nlet n = 4\narray a float[n]\nparallel for i = 0 .. n {\n a[i] = 1.0\n}\n")
+	f.Add("kernel k\nlet n = 4\narray a int[n]\nparallel for i = 0 .. n {\n sum s = 0.0\n parallel for j = 0 .. n reduce(s) {\n  s += 1.0\n }\n a[i] = i\n}\n")
+	f.Add("kernel k\nparallel for i = 0 .. 2 {\n let x = -i * 3 % 2\n if x < 0 {\n  x = 0\n } else {\n  x = 1\n }\n for j = 0 .. x {\n  break\n }\n}\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := Format(k)
+		k2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\nformatted:\n%s", err, out)
+		}
+		a, b := normalize(k), normalize(k2)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("AST changed across format round trip\noriginal:  %#v\nreparsed:  %#v\nformatted:\n%s", a, b, out)
+		}
+	})
+}
+
+// normalize deep-copies an AST with all Line and File fields zeroed, so
+// round-trip comparison ignores source positions.
+func normalize(k *Kernel) *Kernel {
+	c := deepCopy(reflect.ValueOf(k)).Interface().(*Kernel)
+	return c
+}
+
+func deepCopy(v reflect.Value) reflect.Value {
+	switch v.Kind() {
+	case reflect.Ptr:
+		if v.IsNil() {
+			return v
+		}
+		c := reflect.New(v.Type().Elem())
+		c.Elem().Set(deepCopy(v.Elem()))
+		return c
+	case reflect.Interface:
+		if v.IsNil() {
+			return v
+		}
+		return deepCopy(v.Elem()).Convert(v.Type())
+	case reflect.Slice:
+		if v.IsNil() {
+			return v
+		}
+		c := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		for i := 0; i < v.Len(); i++ {
+			c.Index(i).Set(deepCopy(v.Index(i)))
+		}
+		return c
+	case reflect.Struct:
+		c := reflect.New(v.Type()).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			name := v.Type().Field(i).Name
+			if name == "Line" || name == "File" {
+				continue // zeroed: positions differ across reformatting
+			}
+			c.Field(i).Set(deepCopy(v.Field(i)))
+		}
+		return c
+	default:
+		return v
+	}
+}

@@ -7,18 +7,34 @@ import (
 
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
-	toks []token
-	pos  int
+	file  string
+	toks  []token
+	pos   int
+	depth int
 }
 
+// maxParseDepth bounds recursion through nested expressions, blocks, and
+// unary chains, turning pathological inputs into an error instead of a
+// stack overflow.
+const maxParseDepth = 200
+
 // Parse parses kernel source text.
-func Parse(src string) (*Kernel, error) {
-	toks, err := lex(src)
+func Parse(src string) (*Kernel, error) { return ParseFile("", src) }
+
+// ParseFile parses kernel source text read from the named file; the name is
+// carried into every diagnostic (file:line:) and stored on the Kernel.
+func ParseFile(file, src string) (*Kernel, error) {
+	toks, err := lexFile(file, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
-	return p.kernel()
+	p := &parser{file: file, toks: toks}
+	k, err := p.kernel()
+	if err != nil {
+		return nil, err
+	}
+	k.File = file
+	return k, nil
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -32,8 +48,20 @@ func (p *parser) skipNL() {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("frontend: line %d: %s", p.line(), fmt.Sprintf(format, args...))
+	return fmt.Errorf("%s: %s", srcPos(p.file, p.line()), fmt.Sprintf(format, args...))
 }
+
+// push guards a recursive descent step; each successful push is paired with
+// a pop.
+func (p *parser) push() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("nesting too deep (more than %d levels)", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) pop() { p.depth-- }
 
 // accept consumes the next token if it is the given symbol or keyword.
 func (p *parser) accept(text string) bool {
@@ -113,7 +141,7 @@ func (p *parser) kernel() (*Kernel, error) {
 				return nil, err
 			}
 			if !root.Parallel {
-				return nil, fmt.Errorf("frontend: line %d: the top-level loop must be `parallel for`", root.Line)
+				return nil, fmt.Errorf("%s: the top-level loop must be `parallel for`", srcPos(p.file, root.Line))
 			}
 			k.Root = root
 			p.skipNL()
@@ -284,6 +312,10 @@ func (p *parser) block() ([]Stmt, error) {
 }
 
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.push(); err != nil {
+		return nil, err
+	}
+	defer p.pop()
 	t := p.peek()
 	if t.kind != tokIdent {
 		return nil, p.errf("expected a statement, found %s", t)
@@ -394,7 +426,13 @@ func (p *parser) assignStmt() (Stmt, error) {
 //	add  := mul (("+"|"-") mul)*
 //	mul  := unary (("*"|"/"|"%") unary)*
 //	unary:= ("-"|"!") unary | primary
-func (p *parser) expr() (Expr, error) { return p.orExpr() }
+func (p *parser) expr() (Expr, error) {
+	if err := p.push(); err != nil {
+		return nil, err
+	}
+	defer p.pop()
+	return p.orExpr()
+}
 
 func (p *parser) orExpr() (Expr, error) {
 	return p.binLevel(p.andExpr, "||")
@@ -458,6 +496,10 @@ func (p *parser) binLevel(sub func() (Expr, error), ops ...string) (Expr, error)
 }
 
 func (p *parser) unaryExpr() (Expr, error) {
+	if err := p.push(); err != nil {
+		return nil, err
+	}
+	defer p.pop()
 	if p.peek().kind == tokSymbol && (p.peek().text == "-" || p.peek().text == "!") {
 		line := p.line()
 		op := p.next().text

@@ -65,10 +65,21 @@ func (t token) String() string {
 	}
 }
 
+// srcPos renders a diagnostic position: "file:line" (clickable in editors
+// and CI logs) when the source file is known, the package-prefixed
+// "frontend: line N" for unnamed sources.
+func srcPos(file string, line int) string {
+	if file == "" {
+		return fmt.Sprintf("frontend: line %d", line)
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
 // lexer splits kernel source into tokens. Comments run from '#' to end of
 // line. Newlines are significant (they terminate statements) and are
 // emitted as tokens, collapsed across blank lines.
 type lexer struct {
+	file string
 	src  string
 	pos  int
 	line int
@@ -76,8 +87,11 @@ type lexer struct {
 }
 
 // lex tokenizes src.
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src, line: 1}
+func lex(src string) ([]token, error) { return lexFile("", src) }
+
+// lexFile tokenizes src read from the named file.
+func lexFile(file, src string) ([]token, error) {
+	l := &lexer{file: file, src: src, line: 1}
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		switch {
@@ -172,5 +186,5 @@ func (l *lexer) lexSymbol() error {
 			return nil
 		}
 	}
-	return fmt.Errorf("frontend: line %d: unexpected character %q", l.line, rest[0])
+	return fmt.Errorf("%s: unexpected character %q", srcPos(l.file, l.line), rest[0])
 }
