@@ -34,11 +34,24 @@
 //	defer r.Close()
 //	r.Run()
 //
+// # Failure semantics
+//
+// Runner.RunCtx runs a nest with defined failure behaviour: cancelling the
+// context (or passing one with a deadline) stops every task of the run at
+// its next safepoint — the same chunk boundaries and interior latches where
+// heartbeats are polled — and returns ctx.Err(); a panicking loop body is
+// captured as a typed *PanicError naming the faulting loop and iteration,
+// cancels the rest of the run the same way, and is returned as an error once
+// all tasks have drained. The Team, Runner, and heartbeat source remain
+// usable afterwards. The WithWatchdog option additionally guards against a
+// silently stalled heartbeat source by failing over to plain timer polling.
+//
 // See examples/ for complete programs, and DESIGN.md for how this library
 // maps onto the paper's compiler and runtime.
 package hbc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -50,6 +63,16 @@ import (
 	"hbc/internal/pulse"
 	"hbc/internal/sched"
 )
+
+// PanicError is the error returned by Runner.RunCtx (and carried by the
+// panic of Runner.Run) when a loop body, hook, or bounds function panics
+// during a run. It identifies the faulting loop by its (level, index) ID and
+// name, snapshots the induction variables from the loop-slice-task context
+// chain, and holds the original panic value plus the worker stack.
+type PanicError = core.PanicError
+
+// ErrTeamClosed is returned when a run is attempted on a closed Team.
+var ErrTeamClosed = sched.ErrTeamClosed
 
 // Re-exported loop-nest IR types; see package loopnest for field semantics.
 type (
@@ -110,6 +133,7 @@ type Team struct {
 	ws        *sched.Team
 	heartbeat time.Duration
 	signal    Signal
+	watchdog  int
 }
 
 // Option configures a Team.
@@ -123,6 +147,21 @@ func Heartbeat(d time.Duration) Option { return func(t *Team) { t.heartbeat = d 
 
 // WithSignal selects the heartbeat mechanism. Defaults to SignalPolling.
 func WithSignal(s Signal) Option { return func(t *Team) { t.signal = s } }
+
+// WithWatchdog arms a pulse watchdog on every Runner the team loads: if the
+// heartbeat source delivers no beat for grace periods (grace < 1 selects
+// pulse.DefaultGrace), the runner fails over to plain timer polling so
+// promotions keep flowing, and records the event in PulseStats().Failovers.
+// Meaningful for the goroutine-driven mechanisms (SignalEpoch, SignalPing,
+// SignalKernel), whose signaler can stall; SignalPolling cannot go silent.
+func WithWatchdog(grace int) Option {
+	return func(t *Team) {
+		t.watchdog = grace
+		if grace < 1 {
+			t.watchdog = pulse.DefaultGrace
+		}
+	}
+}
 
 // NewTeam creates a worker team. Close must be called to release it.
 func NewTeam(opts ...Option) *Team {
@@ -270,16 +309,42 @@ type Runner struct {
 // Load prepares a Program for execution on the team with the given
 // environment, starting the heartbeat source.
 func (t *Team) Load(p *Program, env any) *Runner {
-	x := core.NewExec(p.p, t.ws, t.signal.newSource(), t.heartbeat, env)
+	src := t.signal.newSource()
+	if t.watchdog > 0 {
+		src = pulse.NewWatchdog(src, t.watchdog)
+	}
+	x := core.NewExec(p.p, t.ws, src, t.heartbeat, env)
 	x.Start()
 	return &Runner{x: x}
 }
 
 // Run executes one invocation of the nest, blocking until every iteration
 // completed, and returns the root reduction accumulator (nil if none).
+//
+// If the nest fails — a loop body panics, or the team is closed — Run
+// panics with the *PanicError (or ErrTeamClosed) that RunCtx would have
+// returned, after detaching the heartbeat source so a failed run cannot
+// strand its signaling goroutine. Use RunCtx to get an error instead, with
+// the Runner left usable.
 func (r *Runner) Run() any { return r.x.Run() }
 
-// Close releases the heartbeat source.
+// RunCtx executes one invocation of the nest under ctx and returns the root
+// reduction accumulator (nil if none).
+//
+// Cancellation is cooperative: when ctx is cancelled or its deadline
+// passes, every task of the run — promoted slice tasks and leftover tasks
+// included — stops at its next safepoint (the chunk boundaries and interior
+// latches where heartbeats are polled), all fork-join joins drain, and
+// RunCtx returns ctx.Err(). A panic in a loop body, hook, or bounds
+// function is returned as a *PanicError (first panic wins; the rest of the
+// run is cancelled the same way). After an error the Team and Runner remain
+// usable: a subsequent RunCtx starts a fresh invocation. Side effects of
+// iterations that executed before the abort are visible; the reduction
+// result of a failed run is discarded.
+func (r *Runner) RunCtx(ctx context.Context) (any, error) { return r.x.RunCtx(ctx) }
+
+// Close releases the heartbeat source. Close is idempotent and safe after a
+// failed run.
 func (r *Runner) Close() { r.x.Stop() }
 
 // Stats exposes the runtime counters of this Runner.

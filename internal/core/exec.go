@@ -1,12 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
 	"hbc/internal/pulse"
 	"hbc/internal/sched"
 )
+
+// ErrNotStarted is returned by RunCtx when Start has not been called.
+var ErrNotStarted = errors.New("core: Exec.Run before Start")
 
 // lst is a Loop-Slice Task context (§3.2): the per-invocation state of one
 // loop — its closure is the shared environment plus the indices of the
@@ -56,9 +61,16 @@ type Exec struct {
 	ac      []acWorker
 	stats   RunStats
 	started bool
+	// lifeMu serializes Start/Stop so concurrent or repeated Close calls
+	// (e.g. a deferred Close racing a failure-path Close) are safe.
+	lifeMu sync.Mutex
 	// manage records whether this Exec owns the source's Attach/Detach
 	// lifecycle (false when several Execs share one attached source).
 	manage bool
+	// ctl is the control block of the invocation in progress. Exec supports
+	// one Run at a time; tasks spawned during the run read it through their
+	// taskRun.
+	ctl *runCtl
 
 	traceMu sync.Mutex
 	trace   []ChunkSample
@@ -107,8 +119,10 @@ func NewExecShared(prog *Program, team *sched.Team, src pulse.Source, period tim
 func (x *Exec) Env() any { return x.env }
 
 // Start attaches the heartbeat source. Must precede the first Run. A no-op
-// for shared-source Execs.
+// for shared-source Execs and when already started; idempotent.
 func (x *Exec) Start() {
+	x.lifeMu.Lock()
+	defer x.lifeMu.Unlock()
 	if x.started {
 		return
 	}
@@ -117,7 +131,10 @@ func (x *Exec) Start() {
 }
 
 // Stop detaches the heartbeat source. A no-op for shared-source Execs.
+// Stop is idempotent and safe after a failed run.
 func (x *Exec) Stop() {
+	x.lifeMu.Lock()
+	defer x.lifeMu.Unlock()
 	if !x.started || !x.manage {
 		return
 	}
@@ -128,21 +145,95 @@ func (x *Exec) Stop() {
 // Run executes one invocation of the loop nest and returns the root loop's
 // reduction accumulator (nil if the root has no Reduce). It blocks until
 // every iteration — including all promoted tasks — has completed.
+//
+// If the nest fails, Run panics with the *PanicError (or ErrTeamClosed)
+// that RunCtx would have returned — and, as a leak guard, detaches the
+// heartbeat source first, so a panicking run cannot strand a signaling
+// goroutine when the caller has no deferred Close. Callers that want an
+// error instead of a panic, or cancellation, should use RunCtx.
 func (x *Exec) Run() any {
-	if !x.started {
-		panic("core: Exec.Run before Start")
+	v, err := x.RunCtx(context.Background())
+	if err != nil {
+		// A failed run leaves the nest partially executed; release the
+		// source before unwinding. Stop is idempotent, so a deferred
+		// Close/Stop at the caller remains safe.
+		x.Stop()
+		panic(err)
 	}
-	var result any
-	x.team.Run(func(w *sched.Worker) {
-		ts := newTaskRun(x, w)
-		root := x.prog.loops[0]
-		ts.setupInvocation(root, nil)
-		if pl := ts.runLoop(root); pl != noPromo {
-			panic("core: promotion escaped the root loop")
+	return v
+}
+
+// RunCtx executes one invocation of the loop nest under the given context
+// and returns the root loop's reduction accumulator (nil if the root has no
+// Reduce).
+//
+// Failure semantics: if ctx is cancelled or its deadline passes, every task
+// of the run — including promoted slice tasks and leftover tasks — stops at
+// its next safepoint (the same chunk boundaries and interior latches at
+// which heartbeats are polled), all joins drain, and RunCtx returns
+// ctx.Err(). If any loop body, hook, or bounds function panics, the first
+// panic wins: it is captured as a *PanicError naming the faulting loop and
+// iteration, the rest of the run is cancelled the same way, and the error is
+// returned once every task has drained. In both cases the Exec, its team,
+// and its heartbeat source remain usable for subsequent runs. Outputs
+// written by already-executed iterations are visible; reduction results of a
+// failed run are discarded.
+func (x *Exec) RunCtx(ctx context.Context) (result any, err error) {
+	if !x.started {
+		return nil, ErrNotStarted
+	}
+	ctl := &runCtl{}
+	x.ctl = ctl
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if done := ctx.Done(); done != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		result = ts.chain[0].acc
-	})
-	return result
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-done:
+				ctl.abort(ctx.Err())
+			case <-finished:
+			}
+		}()
+	}
+	err = func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				pe, ok := v.(*PanicError)
+				if !ok {
+					// A panic outside the guarded task tree (should not
+					// happen); contain it rather than crash the caller.
+					pe = &PanicError{Value: v, Worker: -1}
+				}
+				err = pe
+			}
+		}()
+		return x.team.Run(func(w *sched.Worker) {
+			ts := newTaskRun(x, w)
+			ts.guarded(func() {
+				root := x.prog.loops[0]
+				ts.setupInvocation(root, nil)
+				if pl := ts.runLoop(root); pl != noPromo {
+					panic("core: promotion escaped the root loop")
+				}
+				result = ts.chain[0].acc
+			})
+		})
+	}()
+	if err != nil {
+		return nil, err
+	}
+	if ctl.canceled() {
+		// Cancelled runs complete early with partial coverage; their
+		// reduction result is meaningless, so report the cause instead.
+		return nil, ctl.err()
+	}
+	return result, nil
 }
 
 // Stats returns the accumulated runtime statistics.
@@ -169,6 +260,11 @@ const noPromo = -1
 type taskRun struct {
 	x *Exec
 	w *sched.Worker
+	// ctl is the run's shared control block (cancellation + first fault).
+	ctl *runCtl
+	// cur is the loop whose user code (body, hook, or bounds) is currently
+	// executing, maintained for panic attribution.
+	cur *cloop
 
 	chain []lst
 	idx   []int64
@@ -193,6 +289,7 @@ func newTaskRun(x *Exec, w *sched.Worker) *taskRun {
 	ts := &taskRun{
 		x:         x,
 		w:         w,
+		ctl:       x.ctl,
 		chain:     make([]lst, p.depth),
 		idx:       make([]int64, p.depth),
 		budget:    make([]int64, len(p.leaves)),
@@ -281,9 +378,14 @@ func (ts *taskRun) surrenderBelow(level int) {
 	}
 }
 
+// aborted reports whether the run has been cancelled — by context, deadline,
+// or a sibling's panic. Checked at the same safepoints as heartbeat polls.
+func (ts *taskRun) aborted() bool { return ts.ctl != nil && ts.ctl.canceled() }
+
 // setupInvocation initializes the chain entry for a new invocation of loop
 // l, computing its bounds from the enclosing indices.
 func (ts *taskRun) setupInvocation(l *cloop, _ *lst) {
+	ts.cur = l
 	lo, hi := l.spec.Bounds(ts.x.env, ts.idx[:l.id.Level])
 	e := &ts.chain[l.id.Level]
 	e.loop = l
@@ -318,8 +420,14 @@ func (ts *taskRun) runLoop(l *cloop) int {
 	lvl := l.id.Level
 	env := ts.x.env
 	for e.iv < e.hi {
+		// Interior-loop safepoint: a cancelled run abandons its remaining
+		// iterations here, the same boundary a heartbeat poll sits on.
+		if ts.aborted() {
+			return noPromo
+		}
 		ts.idx[lvl] = e.iv
 		if l.spec.Pre != nil {
+			ts.cur = l
 			l.spec.Pre(env, ts.idx[:lvl+1], ts.accVisible(l))
 		}
 		if pl := ts.runChildren(l, 0); pl != noPromo {
@@ -332,6 +440,7 @@ func (ts *taskRun) runLoop(l *cloop) int {
 			return noPromo
 		}
 		if l.spec.Post != nil {
+			ts.cur = l
 			l.spec.Post(env, ts.idx[:lvl+1], ts.accVisible(l), ts.childAccs[lvl])
 		}
 		e.iv++
@@ -387,6 +496,7 @@ func (ts *taskRun) tailOf(l *cloop) int {
 		return pl
 	}
 	if l.spec.Post != nil {
+		ts.cur = l
 		l.spec.Post(ts.x.env, ts.idx[:lvl+1], ts.accVisible(l), ts.childAccs[lvl])
 	}
 	return noPromo
@@ -408,6 +518,11 @@ func (ts *taskRun) runLeaf(l *cloop) int {
 		ts.x.recordChunk(ord, ts.outermostIdx(), ts.chunkFor(ord))
 	}
 	for e.iv < e.hi {
+		// Leaf safepoint: a cancelled run abandons the rest of the
+		// invocation at the chunk boundary, where the heartbeat poll sits.
+		if ts.aborted() {
+			return noPromo
+		}
 		r := ts.budget[ord]
 		if r <= 0 {
 			r = ts.chunkFor(ord)
@@ -417,6 +532,7 @@ func (ts *taskRun) runLeaf(l *cloop) int {
 		if left := e.hi - e.iv; left < n {
 			n = left
 		}
+		ts.cur = l
 		l.spec.Body(env, idx, e.iv, e.iv+n, acc)
 		e.iv += n
 		r -= n
@@ -580,7 +696,7 @@ func (p *Program) RunStatic(team *sched.Team, env any) any {
 	accs := make([]any, n)
 	per := (hi - lo + n - 1) / n
 	var result any
-	team.Run(func(w *sched.Worker) {
+	err := team.Run(func(w *sched.Worker) {
 		latch := sched.NewLatch(1)
 		for b := int64(0); b < n; b++ {
 			blo := lo + b*per
@@ -604,5 +720,8 @@ func (p *Program) RunStatic(team *sched.Team, env any) any {
 			}
 		}
 	})
+	if err != nil {
+		panic(err) // static runs on a closed team are a programming error
+	}
 	return result
 }

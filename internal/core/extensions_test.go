@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -136,6 +137,13 @@ func TestBodyPanicSurfacesAtRun(t *testing.T) {
 		if !strings.Contains(toString(v), "kernel exploded") {
 			t.Fatalf("unexpected panic value %v", v)
 		}
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("panic value is %T, want *PanicError", v)
+		}
+		if pe.Value != "kernel exploded" || pe.Loop != (LoopID{}) {
+			t.Fatalf("PanicError = %+v, want original value and loop (0,0)", pe)
+		}
 	}()
 	x.Run()
 }
@@ -166,10 +174,13 @@ func TestPanicInPromotedTaskSurfaces(t *testing.T) {
 }
 
 func toString(v any) string {
-	if s, ok := v.(string); ok {
+	switch s := v.(type) {
+	case string:
 		return s
+	case error:
+		return s.Error()
 	}
-	return ""
+	return fmt.Sprint(v)
 }
 
 // --- latch-poll batching --------------------------------------------------

@@ -21,7 +21,10 @@ import (
 // finished an iteration), while every ancestor's iv is its in-flight
 // iteration.
 func (x *Exec) promote(ts *taskRun, li *cloop) int {
-	if x.prog.opts.DisablePromotion {
+	if x.prog.opts.DisablePromotion || ts.aborted() {
+		// Promotion entry is a safepoint: a cancelled run must stop
+		// activating latent parallelism (the caller's loop driver observes
+		// the cancel flag at its next boundary and winds down).
 		return noPromo
 	}
 	liLevel := li.id.Level
@@ -127,16 +130,21 @@ func (x *Exec) splitAncestor(ts *taskRun, li, lj *cloop) {
 		// an incomplete closure — it keeps using this task's live
 		// accumulators, which is safe only because it runs synchronously.
 		lt2 := newTaskRun(x, ts.w)
+		lt2.ctl = ts.ctl
 		lt2.adopt(snap)
 		x.stats.leftoverRuns.Add(1)
-		lt.run(lt2)
+		// Guarded even though it runs inline, so panic attribution reports
+		// the leftover's own loop position rather than the promoting task's.
+		lt2.guarded(func() { lt.run(lt2) })
 	} else {
 		ts.surrenderBelow(lj.id.Level) // the leftover owns those accumulators now
+		ctl := ts.ctl
 		x.spawn(ts.w, latch, func(w *sched.Worker) {
 			lt2 := newTaskRun(x, w)
+			lt2.ctl = ctl
 			lt2.adopt(snap)
 			x.stats.leftoverRuns.Add(1)
-			lt.run(lt2)
+			lt2.guarded(func() { lt.run(lt2) })
 		})
 	}
 
@@ -182,12 +190,16 @@ func (x *Exec) forkSlice(ts *taskRun, l *cloop, lo, hi int64, latch *sched.Latch
 	for i := range snap.budget {
 		snap.budget[i] = 0
 	}
+	ctl := ts.ctl
 	x.spawn(ts.w, latch, func(w *sched.Worker) {
 		ts2 := newTaskRun(x, w)
+		ts2.ctl = ctl
 		ts2.adopt(snap)
-		if pl := ts2.runLoop(l); pl != noPromo {
-			panic("core: promotion escaped a loop-slice task")
-		}
+		ts2.guarded(func() {
+			if pl := ts2.runLoop(l); pl != noPromo {
+				panic("core: promotion escaped a loop-slice task")
+			}
+		})
 	})
 	return acc
 }

@@ -72,6 +72,10 @@ type Stats struct {
 	// points.
 	LagMean time.Duration
 	LagMax  time.Duration
+	// Failovers counts watchdog failovers: times a silent heartbeat source
+	// was detected and replaced by fallback Timer polling (see Watchdog).
+	// Zero for unwrapped sources.
+	Failovers int64
 }
 
 // DetectionRate returns Detected/(Detected+Missed) as a percentage, the
@@ -85,8 +89,12 @@ func (s Stats) DetectionRate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("generated=%d detected=%d missed=%d polls=%d rate=%.1f%% lag(mean=%v max=%v)",
+	out := fmt.Sprintf("generated=%d detected=%d missed=%d polls=%d rate=%.1f%% lag(mean=%v max=%v)",
 		s.Generated, s.Detected, s.Missed, s.Polls, s.DetectionRate(), s.LagMean, s.LagMax)
+	if s.Failovers > 0 {
+		out += fmt.Sprintf(" failovers=%d", s.Failovers)
+	}
+	return out
 }
 
 // pad prevents false sharing between per-worker slots hammered by polls.

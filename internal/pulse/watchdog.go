@@ -1,0 +1,151 @@
+package pulse
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog wraps a heartbeat Source and guards against it going silent. A
+// stalled signaling goroutine (a starved ping thread, a wedged ticker) is
+// otherwise invisible to the runtime: polls simply keep returning 0, every
+// promotion stops, and an irregular workload silently degrades to serial
+// execution. The watchdog detects the stall — no beat observed for Grace
+// heartbeat periods — at poll time, on the workers' own clock reads, and
+// fails over to plain Timer polling (the mechanism that needs no helper
+// goroutine and therefore cannot stall). The failover is recorded in
+// Stats.Failovers.
+//
+// Detection, like heartbeat delivery itself, happens at promotion-ready
+// points: a worker that never polls can neither receive beats nor notice
+// their absence. Conversely, time during which no worker polls at all — the
+// runtime idle between Run invocations — is not evidence of a stall, so a
+// poll gap longer than the silence window restarts the silence clock. The
+// clock read per poll costs the same as the Timer source's poll, so
+// wrapping a signaling source roughly doubles its poll cost — the price of
+// the guarantee.
+type Watchdog struct {
+	inner Source
+	// grace is the silence threshold in heartbeat periods.
+	grace int64
+
+	workers  int
+	period   time.Duration
+	start    time.Time
+	lastBeat atomic.Int64 // ns since start of the last beat observation
+	lastPoll atomic.Int64 // ns since start of the last poll, any worker
+	fb       atomic.Pointer[Timer]
+	failMu   sync.Mutex
+	fails    atomic.Int64
+}
+
+// DefaultGrace is the default silence threshold, in heartbeat periods. It is
+// generous: OS scheduling jitter routinely delays a signaling goroutine by a
+// few periods, and a spurious failover — while harmless for correctness —
+// abandons the mechanism under test.
+const DefaultGrace = 32
+
+// NewWatchdog wraps inner with stall detection. grace is the silence
+// threshold in heartbeat periods; values < 1 select DefaultGrace.
+func NewWatchdog(inner Source, grace int) *Watchdog {
+	if grace < 1 {
+		grace = DefaultGrace
+	}
+	return &Watchdog{inner: inner, grace: int64(grace)}
+}
+
+// Name implements Source.
+func (d *Watchdog) Name() string { return d.inner.Name() + "+watchdog" }
+
+// Attach implements Source.
+func (d *Watchdog) Attach(workers int, period time.Duration) {
+	d.workers = workers
+	d.period = period
+	d.start = time.Now()
+	d.lastBeat.Store(0)
+	d.lastPoll.Store(0)
+	d.fb.Store(nil)
+	d.fails.Store(0)
+	d.inner.Attach(workers, period)
+}
+
+// Poll implements Source. While the inner source is healthy its answer is
+// passed through; once it has been silent for grace×period, polls are
+// answered by a fallback Timer attached at failover time.
+func (d *Watchdog) Poll(w int) int {
+	if fb := d.fb.Load(); fb != nil {
+		return fb.Poll(w)
+	}
+	k := d.inner.Poll(w)
+	now := int64(time.Since(d.start))
+	window := d.grace * int64(d.period)
+	if prev := d.lastPoll.Swap(now); now-prev > window {
+		// No worker polled for the whole silence window: the runtime was
+		// idle (between Run invocations, or before the first run after
+		// Attach). Idle time is not source silence — a stalled source can
+		// only be observed through polls that keep coming back empty — so
+		// the silence clock restarts here.
+		d.lastBeat.Store(now)
+	}
+	if k > 0 {
+		d.lastBeat.Store(now)
+		return k
+	}
+	if now-d.lastBeat.Load() > window {
+		d.failover()
+		if fb := d.fb.Load(); fb != nil {
+			return fb.Poll(w)
+		}
+	}
+	return 0
+}
+
+// failover installs the fallback Timer exactly once.
+func (d *Watchdog) failover() {
+	d.failMu.Lock()
+	defer d.failMu.Unlock()
+	if d.fb.Load() != nil {
+		return
+	}
+	fb := NewTimer()
+	fb.Attach(d.workers, d.period)
+	// The run has already been starved for grace periods; make one beat due
+	// immediately on every worker so promotions resume at the next poll
+	// instead of one further period later.
+	for i := range fb.slots {
+		fb.slots[i].deadline = 0
+	}
+	d.fails.Add(1)
+	d.fb.Store(fb)
+}
+
+// FailedOver reports whether the watchdog has switched to fallback polling.
+func (d *Watchdog) FailedOver() bool { return d.fb.Load() != nil }
+
+// Detach implements Source. The inner source is detached even after a
+// failover, so its signaling goroutine (if it recovers) is released.
+func (d *Watchdog) Detach() { d.inner.Detach() }
+
+// Stats implements Source: the inner source's statistics, combined with the
+// fallback Timer's from the failover on, plus the failover count.
+func (d *Watchdog) Stats() Stats {
+	s := d.inner.Stats()
+	if fb := d.fb.Load(); fb != nil {
+		f := fb.Stats()
+		// Weighted lag mean across the two regimes.
+		if s.Detected+f.Detected > 0 {
+			s.LagMean = time.Duration(
+				(int64(s.LagMean)*s.Detected + int64(f.LagMean)*f.Detected) /
+					(s.Detected + f.Detected))
+		}
+		s.Generated += f.Generated
+		s.Detected += f.Detected
+		s.Missed += f.Missed
+		s.Polls += f.Polls
+		if f.LagMax > s.LagMax {
+			s.LagMax = f.LagMax
+		}
+	}
+	s.Failovers = d.fails.Load()
+	return s
+}

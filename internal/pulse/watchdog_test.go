@@ -1,0 +1,122 @@
+package pulse
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWatchdogFailsOverOnSilentSource(t *testing.T) {
+	inner := NewManual() // never fires on its own: a fully stalled source
+	d := NewWatchdog(inner, 4)
+	period := time.Millisecond
+	d.Attach(2, period)
+	defer d.Detach()
+
+	if d.Poll(0) != 0 {
+		t.Fatal("beat observed from a silent source before the grace window")
+	}
+	if d.FailedOver() {
+		t.Fatal("failed over before the grace window elapsed")
+	}
+	// Stall detection needs polls that keep coming back empty — a poll gap
+	// as long as the silence window reads as runtime idleness instead — so
+	// poll continuously, as the runtime does, until the watchdog reacts.
+	var beat int
+	deadline := time.Now().Add(100 * period)
+	for beat == 0 && time.Now().Before(deadline) {
+		beat = d.Poll(0)
+		time.Sleep(period / 4)
+	}
+	// The poll that notices the silence installs the fallback Timer; the
+	// fallback is backdated, so the same poll detects a beat.
+	if beat == 0 {
+		t.Fatal("no beat from fallback Timer after failover")
+	}
+	if !d.FailedOver() {
+		t.Fatal("watchdog did not record the failover")
+	}
+	st := d.Stats()
+	if st.Failovers != 1 {
+		t.Fatalf("Stats.Failovers = %d, want 1", st.Failovers)
+	}
+	if !strings.Contains(st.String(), "failovers=1") {
+		t.Fatalf("Stats.String() = %q, want failovers noted", st)
+	}
+	// The other worker switches to the fallback too.
+	if k := d.Poll(1); k == 0 {
+		t.Fatal("worker 1 saw no beat after failover")
+	}
+}
+
+func TestWatchdogIgnoresIdleGaps(t *testing.T) {
+	inner := NewManual()
+	d := NewWatchdog(inner, 4)
+	period := time.Millisecond
+	d.Attach(1, period)
+	defer d.Detach()
+
+	// A healthy beat, then a long gap with no polls at all (the runtime
+	// idle between two Run invocations), then empty polls again: the idle
+	// time must not count toward the silence window.
+	inner.Fire(0)
+	if d.Poll(0) == 0 {
+		t.Fatal("healthy beat not passed through")
+	}
+	time.Sleep(8 * period)
+	for i := 0; i < 3; i++ {
+		d.Poll(0)
+	}
+	if d.FailedOver() {
+		t.Fatal("watchdog counted an idle gap as source silence")
+	}
+}
+
+func TestWatchdogPassesThroughHealthySource(t *testing.T) {
+	inner := NewManual()
+	d := NewWatchdog(inner, 4)
+	period := time.Millisecond
+	d.Attach(1, period)
+	defer d.Detach()
+
+	deadline := time.Now().Add(20 * period)
+	beats := 0
+	for time.Now().Before(deadline) {
+		inner.Fire(0)
+		if d.Poll(0) > 0 {
+			beats++
+		}
+		time.Sleep(period / 2)
+	}
+	if beats == 0 {
+		t.Fatal("no beats passed through from the healthy inner source")
+	}
+	if d.FailedOver() {
+		t.Fatal("watchdog failed over despite a steady beat supply")
+	}
+	if st := d.Stats(); st.Failovers != 0 {
+		t.Fatalf("Stats.Failovers = %d, want 0", st.Failovers)
+	}
+}
+
+func TestWatchdogNameAndReattach(t *testing.T) {
+	d := NewWatchdog(NewTimer(), 0)
+	if d.Name() != "polling+watchdog" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	if d.grace != DefaultGrace {
+		t.Fatalf("grace = %d, want DefaultGrace", d.grace)
+	}
+	// Re-attach resets failover state.
+	d.Attach(1, time.Millisecond)
+	d.failover()
+	if !d.FailedOver() {
+		t.Fatal("explicit failover did not take")
+	}
+	d.Detach()
+	d.Attach(1, time.Millisecond)
+	if d.FailedOver() || d.Stats().Failovers != 0 {
+		t.Fatal("re-attach did not reset failover state")
+	}
+	d.Detach()
+}

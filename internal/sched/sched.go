@@ -16,6 +16,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,6 +25,11 @@ import (
 
 	"hbc/internal/deque"
 )
+
+// ErrTeamClosed is returned by Run when the team has been closed. It replaces
+// the historical panic so callers can treat a shut-down pool as an ordinary
+// error condition.
+var ErrTeamClosed = errors.New("sched: team closed")
 
 // Task is a unit of work executed by a worker. After Run returns, the
 // scheduler signals the task's latch, if any.
@@ -159,6 +165,8 @@ func (t *Team) Worker(i int) *Worker { return t.workers[i] }
 func (t *Team) Spawned() int64 { return t.spawned.Load() }
 
 // Close shuts the team down. It must not be called while tasks are running.
+// Close is idempotent: second and later calls are no-ops, so deferred
+// cleanups after a failed run are safe.
 func (t *Team) Close() {
 	if t.closed.Swap(true) {
 		return
@@ -167,12 +175,17 @@ func (t *Team) Close() {
 	t.wg.Wait()
 }
 
+// Closed reports whether Close has been called.
+func (t *Team) Closed() bool { return t.closed.Load() }
+
 // Run submits fn as a root task and blocks the calling goroutine until it
 // (and everything it forked and joined internally) completes. Run must be
-// called from outside the team's workers.
-func (t *Team) Run(fn func(w *Worker)) {
+// called from outside the team's workers. It returns ErrTeamClosed if the
+// team has been closed; a panic inside the task tree is re-raised on the
+// calling goroutine (first panic wins), exactly as Latch.Wait does.
+func (t *Team) Run(fn func(w *Worker)) error {
 	if t.closed.Load() {
-		panic("sched: Run on closed team")
+		return ErrTeamClosed
 	}
 	l := NewLatch(1)
 	task := &Task{Run: fn, Latch: l}
@@ -180,10 +193,11 @@ func (t *Team) Run(fn func(w *Worker)) {
 	select {
 	case t.inbox <- task:
 	case <-t.stop:
-		panic("sched: team closed during Run")
+		return ErrTeamClosed
 	}
 	t.signal()
 	l.Wait()
+	return nil
 }
 
 // signal wakes at most one parked worker.

@@ -169,6 +169,27 @@ func TestCloseIdempotent(t *testing.T) {
 	team.Close() // must not panic or hang
 }
 
+func TestRunOnClosedTeamReturnsError(t *testing.T) {
+	team := NewTeam(2)
+	if team.Closed() {
+		t.Fatal("fresh team reports closed")
+	}
+	if err := team.Run(func(w *Worker) {}); err != nil {
+		t.Fatalf("Run on a live team: %v", err)
+	}
+	team.Close()
+	if !team.Closed() {
+		t.Fatal("closed team reports open")
+	}
+	var ran atomic.Bool
+	if err := team.Run(func(w *Worker) { ran.Store(true) }); err != ErrTeamClosed {
+		t.Fatalf("Run on a closed team = %v, want ErrTeamClosed", err)
+	}
+	if ran.Load() {
+		t.Fatal("task ran on a closed team")
+	}
+}
+
 func BenchmarkSpawnJoinSingle(b *testing.B) {
 	team := NewTeam(1)
 	defer team.Close()

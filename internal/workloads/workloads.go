@@ -16,6 +16,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -86,11 +87,17 @@ type Driver struct {
 	Period time.Duration
 	Opts   core.Options
 
+	// NestHook, if set, rewrites every nest before compilation. It exists
+	// for fault injection (internal/chaos wraps bodies to panic at a chosen
+	// iteration) and instrumentation; production drivers leave it nil.
+	NestHook func(*loopnest.Nest) *loopnest.Nest
+
 	execs map[string]*core.Exec
 
 	static      bool
 	staticProgs map[string]*core.Program
 	staticEnvs  map[string]any
+	closed      bool
 }
 
 // NewDriver creates an HBC driver. The source is shared by all the
@@ -117,6 +124,9 @@ func NewStaticDriver(team *sched.Team) *Driver {
 
 // Load compiles a nest and prepares an Exec for it under the given name.
 func (d *Driver) Load(name string, nest *loopnest.Nest, env any) error {
+	if d.NestHook != nil {
+		nest = d.NestHook(nest)
+	}
 	p, err := core.Compile(nest, d.Opts)
 	if err != nil {
 		return fmt.Errorf("workloads: compiling %s: %w", name, err)
@@ -130,7 +140,9 @@ func (d *Driver) Load(name string, nest *loopnest.Nest, env any) error {
 	return nil
 }
 
-// Run executes one invocation of the named nest.
+// Run executes one invocation of the named nest. A failing nest (panicking
+// body) surfaces as a panic carrying the typed *core.PanicError, exactly as
+// core.Exec.Run does; RunCtx returns it as an error instead.
 func (d *Driver) Run(name string) any {
 	if d.static {
 		p, ok := d.staticProgs[name]
@@ -144,6 +156,34 @@ func (d *Driver) Run(name string) any {
 		panic("workloads: nest not loaded: " + name)
 	}
 	return x.Run()
+}
+
+// RunCtx executes one invocation of the named nest under ctx, with the
+// failure semantics of core.Exec.RunCtx: cooperative cancellation at poll
+// safepoints and loop-body panics contained as *core.PanicError. Not
+// supported on static drivers.
+func (d *Driver) RunCtx(ctx context.Context, name string) (any, error) {
+	if d.static {
+		return nil, fmt.Errorf("workloads: RunCtx on a static driver")
+	}
+	x, ok := d.execs[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: nest not loaded: %s", name)
+	}
+	return x.RunCtx(ctx)
+}
+
+// Names lists the loaded nests in sorted order.
+func (d *Driver) Names() []string {
+	names := make([]string, 0, len(d.execs)+len(d.staticProgs))
+	for n := range d.execs {
+		names = append(names, n)
+	}
+	for n := range d.staticProgs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Exec exposes the named nest's executor for statistics.
@@ -164,8 +204,12 @@ func (d *Driver) Execs() []*core.Exec {
 }
 
 // Close detaches the shared heartbeat source (a no-op for static drivers,
-// which have none).
+// which have none). Close is idempotent and safe after a failed run.
 func (d *Driver) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
 	if d.Src != nil {
 		d.Src.Detach()
 	}
