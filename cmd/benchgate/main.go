@@ -1,0 +1,62 @@
+// benchgate compares a benchmark suite JSON (written by hbcbench -sched or
+// -json) against a baseline and exits nonzero on a gated regression. CI runs
+// it twice: once with the committed baseline and only the machine-independent
+// zero-alloc gate, and once with a same-runner base-ref measurement and the
+// time-ratio gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hbc/internal/stats"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json (required)")
+	current := flag.String("new", "", "current BENCH_*.json (required)")
+	maxRatio := flag.Float64("max-ratio", 0,
+		"fail if ns/op exceeds baseline by this ratio; 0 disables the time gate "+
+			"(only meaningful when both files come from the same machine)")
+	zeroAllocs := flag.String("zero-allocs", "",
+		"comma-separated benchmarks that must report 0 allocs/op")
+	flag.Parse()
+
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := stats.ReadBenchSuite(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := stats.ReadBenchSuite(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	var mustZero []string
+	if *zeroAllocs != "" {
+		for _, n := range strings.Split(*zeroAllocs, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				mustZero = append(mustZero, n)
+			}
+		}
+	}
+
+	report, failures := stats.CompareBenchSuites(base, cur, *maxRatio, mustZero)
+	fmt.Print(report)
+	if len(failures) > 0 {
+		fmt.Println("\nFAIL:")
+		for _, f := range failures {
+			fmt.Println("  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchgate: OK")
+}

@@ -5,10 +5,13 @@
 //	hbcbench -fig 4                 # one figure
 //	hbcbench -all                   # Figs. 4–16 in order
 //	hbcbench -bench spmv-arrowhead  # one benchmark across the three engines
+//	hbcbench -sched -json out       # scheduler microbenchmarks -> BENCH_sched.json
 //
 // Common flags: -runs N (median of N, default 3), -scale F (input scale,
 // default 1.0), -workers N (default NumCPU), -heartbeat D (default 100µs),
-// -verify (check every output against the serial oracle), -v (progress).
+// -verify (check every output against the serial oracle), -v (progress),
+// -json DIR (write BENCH_figN.json / BENCH_sched.json artifacts for the CI
+// bench gate; see cmd/benchgate).
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"testing"
 	"time"
 
 	"hbc/internal/core"
@@ -25,6 +29,7 @@ import (
 	"hbc/internal/omp"
 	"hbc/internal/pulse"
 	"hbc/internal/sched"
+	"hbc/internal/schedbench"
 	"hbc/internal/stats"
 	"hbc/internal/workloads"
 )
@@ -43,6 +48,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "log progress")
 		bars      = flag.Bool("bars", false, "also render numeric columns as bar charts")
 		csvDir    = flag.String("csv", "", "also write each figure's table as CSV into this directory")
+		jsonDir   = flag.String("json", "", "write machine-readable BENCH_*.json artifacts into this directory")
+		schedRun  = flag.Bool("sched", false, "run the scheduler microbenchmark suite")
 	)
 	flag.Parse()
 
@@ -69,14 +76,18 @@ func main() {
 		for _, n := range workloads.Names() {
 			fmt.Printf("  %s\n", n)
 		}
+	case *schedRun:
+		if err := runSched(*workers, *jsonDir); err != nil {
+			fatal(err)
+		}
 	case *all:
 		for _, f := range harness.Figures() {
-			if err := runFigure(f.ID, cfg, *bars, *csvDir); err != nil {
+			if err := runFigure(f.ID, cfg, *bars, *csvDir, *jsonDir); err != nil {
 				fatal(err)
 			}
 		}
 	case *fig != 0:
-		if err := runFigure(*fig, cfg, *bars, *csvDir); err != nil {
+		if err := runFigure(*fig, cfg, *bars, *csvDir, *jsonDir); err != nil {
 			fatal(err)
 		}
 	case *bench != "":
@@ -89,7 +100,7 @@ func main() {
 	}
 }
 
-func runFigure(id int, cfg harness.Config, bars bool, csvDir string) error {
+func runFigure(id int, cfg harness.Config, bars bool, csvDir, jsonDir string) error {
 	t0 := time.Now()
 	tb, err := harness.Run(id, cfg)
 	if err != nil {
@@ -109,7 +120,63 @@ func runFigure(id int, cfg harness.Config, bars bool, csvDir string) error {
 		}
 		fmt.Printf("(csv: %s)\n", path)
 	}
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(jsonDir, fmt.Sprintf("BENCH_fig%d.json", id))
+		if err := tb.WriteJSONFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("(json: %s)\n", path)
+	}
 	fmt.Printf("(figure %d took %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
+// runSched runs the gated scheduler microbenchmarks through
+// testing.Benchmark and, with -json, writes BENCH_sched.json in the schema
+// cmd/benchgate consumes.
+func runSched(workers int, jsonDir string) error {
+	suite := &stats.BenchSuite{
+		Suite:   "sched",
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		Workers: workers,
+	}
+	for _, nb := range schedbench.BenchList() {
+		r := testing.Benchmark(nb.Fn)
+		rec := stats.BenchRecord{
+			Name:        nb.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		if len(r.Extra) > 0 {
+			rec.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				rec.Extra[k] = v
+			}
+		}
+		suite.Benchmarks = append(suite.Benchmarks, rec)
+		fmt.Printf("%-18s %10.1f ns/op  %4d B/op  %3d allocs/op  (n=%d)",
+			nb.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, rec.N)
+		for k, v := range rec.Extra {
+			fmt.Printf("  %.2f %s", v, k)
+		}
+		fmt.Println()
+	}
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(jsonDir, "BENCH_sched.json")
+		if err := suite.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("(json: %s)\n", path)
+	}
 	return nil
 }
 

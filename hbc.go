@@ -181,6 +181,68 @@ func (t *Team) Size() int { return t.ws.Size() }
 // Close releases the team's workers. No loops may be running.
 func (t *Team) Close() { t.ws.Close() }
 
+// SchedStats is a snapshot of scheduler activity: task, steal, and parking
+// counts plus fast-path pool effectiveness. Counters accumulate over the
+// team's lifetime; per-run deltas are the difference of two snapshots (see
+// Sub). Collection is always on — each event is one uncontended per-worker
+// atomic add — so reading costs the aggregation, not the hot path.
+type SchedStats struct {
+	// Spawned counts tasks pushed (promotion forks plus root submissions);
+	// Executed counts tasks run to completion.
+	Spawned, Executed int64
+	// Steals counts tasks taken from another worker's deque; StealNanos is
+	// the total time those successful steals spent searching for a victim.
+	Steals, StealNanos int64
+	// Parks counts workers giving up spinning to block; Wakes counts parks
+	// ended by an explicit wake signal from a spawner.
+	Parks, Wakes int64
+	// Pool hit/miss counts for the task and latch free lists. Misses are
+	// heap allocations; a warm fast path shows only hits.
+	TaskPoolHits, TaskPoolMisses   int64
+	LatchPoolHits, LatchPoolMisses int64
+}
+
+// AvgStealLatency returns the mean time a successful steal spent searching.
+func (s SchedStats) AvgStealLatency() time.Duration {
+	if s.Steals == 0 {
+		return 0
+	}
+	return time.Duration(s.StealNanos / s.Steals)
+}
+
+// Sub returns the fieldwise difference s - o, for per-run deltas.
+func (s SchedStats) Sub(o SchedStats) SchedStats {
+	s.Spawned -= o.Spawned
+	s.Executed -= o.Executed
+	s.Steals -= o.Steals
+	s.StealNanos -= o.StealNanos
+	s.Parks -= o.Parks
+	s.Wakes -= o.Wakes
+	s.TaskPoolHits -= o.TaskPoolHits
+	s.TaskPoolMisses -= o.TaskPoolMisses
+	s.LatchPoolHits -= o.LatchPoolHits
+	s.LatchPoolMisses -= o.LatchPoolMisses
+	return s
+}
+
+// SchedStats returns the team-wide scheduler counters, aggregated across
+// workers at call time.
+func (t *Team) SchedStats() SchedStats {
+	c := t.ws.Counters()
+	return SchedStats{
+		Spawned:         c.Spawned,
+		Executed:        c.Executed,
+		Steals:          c.Steals,
+		StealNanos:      c.StealNanos,
+		Parks:           c.Parks,
+		Wakes:           c.Wakes,
+		TaskPoolHits:    c.TaskPoolHits,
+		TaskPoolMisses:  c.TaskPoolMisses,
+		LatchPoolHits:   c.LatchPoolHits,
+		LatchPoolMisses: c.LatchPoolMisses,
+	}
+}
+
 // PromotionPolicy selects which loop a promotion splits. See the core
 // package for the ablation semantics.
 type PromotionPolicy = core.Policy

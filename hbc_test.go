@@ -233,3 +233,31 @@ func TestPolicyAndBatchingConfigs(t *testing.T) {
 		}
 	}
 }
+
+func TestSchedStatsExposed(t *testing.T) {
+	team := testTeam(t, 2)
+	before := team.SchedStats()
+	const n = 100000
+	var sum atomic.Int64
+	team.For(0, n, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			sum.Add(1)
+		}
+	})
+	if sum.Load() != n {
+		t.Fatalf("covered %d, want %d", sum.Load(), n)
+	}
+	d := team.SchedStats().Sub(before)
+	if d.Spawned < 1 {
+		t.Errorf("Spawned = %d, want >= 1 (the root task at minimum)", d.Spawned)
+	}
+	if d.Executed < 1 {
+		t.Errorf("Executed = %d, want >= 1", d.Executed)
+	}
+	if d.Steals > 0 && d.AvgStealLatency() <= 0 {
+		t.Errorf("steals recorded but AvgStealLatency = %v", d.AvgStealLatency())
+	}
+	if d.TaskPoolHits < 0 || d.TaskPoolMisses < 0 || d.LatchPoolHits < 0 || d.LatchPoolMisses < 0 {
+		t.Errorf("negative pool delta: %+v", d)
+	}
+}

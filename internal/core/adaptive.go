@@ -16,8 +16,17 @@ package core
 
 // acWorker is one worker's Adaptive Chunking state. Workers never share
 // these (each slot is written only by its owning worker), so no atomics are
-// needed; the padding keeps slots on separate cache lines.
+// needed; the padding keeps slots on separate cache lines. Slots live in a
+// contiguous slice (Exec.ac), so both sides are padded: trailing-only
+// padding keeps a slot's hot head off the *previous* slot's fields, but
+// leaves it sharing a line with whatever the allocator places before the
+// slice — and, if fields are ever added without re-auditing the size, with
+// the previous slot's tail. The leading pad makes the isolation
+// unconditional. polls is incremented on every heartbeat poll — the hottest
+// per-worker write in the runtime — so a shared line here shows up directly
+// in Fig. 7-style overhead measurements.
 type acWorker struct {
+	_ [64]byte // leading pad: isolate from the previous slot / slice header
 	// polls counts polling-function invocations since the last detected
 	// heartbeat (the paper's per-worker poll counter).
 	polls int64
@@ -27,7 +36,7 @@ type acWorker struct {
 	wfill  int
 	// chunk is the current chunk size per leaf ordinal.
 	chunk []int64
-	_     [64]byte
+	_     [64]byte // trailing pad: isolate from the next slot's leading bytes
 }
 
 func (a *acWorker) init(p *Program, o Options) {

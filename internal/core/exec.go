@@ -76,6 +76,16 @@ type Exec struct {
 	trace   []ChunkSample
 	// events is the promotion log, nil unless Options.TraceEvents.
 	events *eventLog
+
+	// trPool and snapPool recycle the per-task execution state of promoted
+	// slice and leftover tasks, so a promotion's task bodies do not pay the
+	// five-slice taskRun allocation (chain, idx, budget, accPool, childAccs)
+	// or the snapshot header on every fork. The root taskRun of a run is
+	// deliberately NOT pooled: its accumulator (chain[0].acc) is returned to
+	// the caller, and recycling it would let a later run clobber a result
+	// the user still holds.
+	trPool   sync.Pool
+	snapPool sync.Pool
 }
 
 // ChunkSample is one Fig.-12 trace point: the chunk size in force when a
@@ -300,6 +310,35 @@ func newTaskRun(x *Exec, w *sched.Worker) *taskRun {
 	return ts
 }
 
+// getTaskRun returns a taskRun for a promoted slice or leftover task,
+// recycled from the pool when possible. The caller installs ctl and adopts a
+// snapshot, which together overwrite every field adopt does not reset.
+func (x *Exec) getTaskRun(w *sched.Worker) *taskRun {
+	if v := x.trPool.Get(); v != nil {
+		ts := v.(*taskRun)
+		ts.w = w
+		ts.latchBudget = x.prog.opts.LatchPollEvery
+		return ts
+	}
+	return newTaskRun(x, w)
+}
+
+// putTaskRun recycles a finished slice/leftover taskRun. The child-acc
+// slices are dropped (their backing arrays were visible to user Post hooks),
+// and control fields are cleared; the scratch accumulators in accPool stay —
+// accForLoop resets them before reuse, exactly as it already does between
+// invocations within one task. Not called on the panic path (guarded
+// re-raises before we get here), so a faulting task's state is simply GC'd.
+func (x *Exec) putTaskRun(ts *taskRun) {
+	ts.cur = nil
+	ts.ctl = nil
+	ts.w = nil
+	for i := range ts.childAccs {
+		ts.childAccs[i] = nil
+	}
+	x.trPool.Put(ts)
+}
+
 // snapshot captures the state a forked task needs: the LST chain, the
 // partially-filled child accumulators, and the chunk budgets.
 type snapshot struct {
@@ -308,34 +347,51 @@ type snapshot struct {
 	budget    []int64
 }
 
-func (ts *taskRun) snapshot() *snapshot {
-	s := &snapshot{
-		chain:     make([]lst, len(ts.chain)),
-		childAccs: make([][]any, len(ts.childAccs)),
-		budget:    make([]int64, len(ts.budget)),
+// getSnapshot returns a snapshot shell with the program's dimensions,
+// recycled from the pool when possible. Every slot is overwritten by
+// taskRun.snapshot, so no clearing is needed on reuse.
+func (x *Exec) getSnapshot() *snapshot {
+	if v := x.snapPool.Get(); v != nil {
+		return v.(*snapshot)
 	}
+	p := x.prog
+	return &snapshot{
+		chain:     make([]lst, p.depth),
+		childAccs: make([][]any, p.depth),
+		budget:    make([]int64, len(p.leaves)),
+	}
+}
+
+func (ts *taskRun) snapshot() *snapshot {
+	s := ts.x.getSnapshot()
 	copy(s.chain, ts.chain)
 	copy(s.budget, ts.budget)
 	for i, ca := range ts.childAccs {
 		if ca != nil {
+			// Fresh backing array per snapshot: adopt hands it to the new
+			// task outright, so it must not be shared with the pool.
 			s.childAccs[i] = append([]any(nil), ca...)
+		} else {
+			s.childAccs[i] = nil
 		}
 	}
 	return s
 }
 
-// adopt installs a snapshot into a fresh taskRun.
+// adopt installs a snapshot into a taskRun and releases the snapshot shell
+// back to the pool. Each snapshot is adopted exactly once: the chain and
+// budgets are copied, while the child-acc slices transfer ownership.
 func (ts *taskRun) adopt(s *snapshot) {
 	copy(ts.chain, s.chain)
 	copy(ts.budget, s.budget)
 	for i, ca := range s.childAccs {
-		if ca != nil {
-			ts.childAccs[i] = ca
-		}
+		ts.childAccs[i] = ca
+		s.childAccs[i] = nil
 	}
 	for lvl := range ts.chain {
 		ts.idx[lvl] = ts.chain[lvl].iv
 	}
+	ts.x.snapPool.Put(s)
 }
 
 // accVisible resolves the accumulator a body or hook under loop l writes:
@@ -697,7 +753,7 @@ func (p *Program) RunStatic(team *sched.Team, env any) any {
 	per := (hi - lo + n - 1) / n
 	var result any
 	err := team.Run(func(w *sched.Worker) {
-		latch := sched.NewLatch(1)
+		latch := w.NewLatch(1)
 		for b := int64(0); b < n; b++ {
 			blo := lo + b*per
 			bhi := blo + per
@@ -711,6 +767,7 @@ func (p *Program) RunStatic(team *sched.Team, env any) any {
 		}
 		latch.Done()
 		w.HelpUntil(latch)
+		w.FreeLatch(latch)
 		if root.spec.Reduce != nil {
 			result = accs[0]
 			for _, a := range accs[1:] {

@@ -91,11 +91,12 @@ func (x *Exec) splitSelf(ts *taskRun, l *cloop) {
 	e.hi = e.iv // nothing of this invocation remains ours
 	x.recordPromotion(ts.w.ID(), l, l, lo, mid, hi, false)
 
-	latch := sched.NewLatch(1)
+	latch := ts.w.NewLatch(1)
 	accA := x.forkSlice(ts, l, lo, mid, latch)
 	accB := x.forkSlice(ts, l, mid, hi, latch)
 	latch.Done()
-	ts.w.HelpUntil(latch)
+	ts.w.HelpUntil(latch) // a panicking join skips the recycle; the latch is GC'd
+	ts.w.FreeLatch(latch)
 	x.mergeInto(ts, l, accA, accB)
 }
 
@@ -114,7 +115,7 @@ func (x *Exec) splitAncestor(ts *taskRun, li, lj *cloop) {
 	x.recordPromotion(ts.w.ID(), li, lj, lo, mid, hi, true)
 
 	lt := x.prog.leftoverFor(li, lj)
-	latch := sched.NewLatch(1)
+	latch := ts.w.NewLatch(1)
 	accA := x.forkSlice(ts, lj, lo, mid, latch)
 	accB := x.forkSlice(ts, lj, mid, hi, latch)
 
@@ -129,27 +130,30 @@ func (x *Exec) splitAncestor(ts *taskRun, li, lj *cloop) {
 		// Prior work: leftover on the promoting task's critical path, with
 		// an incomplete closure — it keeps using this task's live
 		// accumulators, which is safe only because it runs synchronously.
-		lt2 := newTaskRun(x, ts.w)
+		lt2 := x.getTaskRun(ts.w)
 		lt2.ctl = ts.ctl
 		lt2.adopt(snap)
 		x.stats.leftoverRuns.Add(1)
 		// Guarded even though it runs inline, so panic attribution reports
 		// the leftover's own loop position rather than the promoting task's.
 		lt2.guarded(func() { lt.run(lt2) })
+		x.putTaskRun(lt2)
 	} else {
 		ts.surrenderBelow(lj.id.Level) // the leftover owns those accumulators now
 		ctl := ts.ctl
 		x.spawn(ts.w, latch, func(w *sched.Worker) {
-			lt2 := newTaskRun(x, w)
+			lt2 := x.getTaskRun(w)
 			lt2.ctl = ctl
 			lt2.adopt(snap)
 			x.stats.leftoverRuns.Add(1)
 			lt2.guarded(func() { lt.run(lt2) })
+			x.putTaskRun(lt2)
 		})
 	}
 
 	latch.Done()
 	ts.w.HelpUntil(latch)
+	ts.w.FreeLatch(latch)
 	x.mergeInto(ts, lj, accA, accB)
 }
 
@@ -192,7 +196,7 @@ func (x *Exec) forkSlice(ts *taskRun, l *cloop, lo, hi int64, latch *sched.Latch
 	}
 	ctl := ts.ctl
 	x.spawn(ts.w, latch, func(w *sched.Worker) {
-		ts2 := newTaskRun(x, w)
+		ts2 := x.getTaskRun(w)
 		ts2.ctl = ctl
 		ts2.adopt(snap)
 		ts2.guarded(func() {
@@ -200,6 +204,8 @@ func (x *Exec) forkSlice(ts *taskRun, l *cloop, lo, hi int64, latch *sched.Latch
 				panic("core: promotion escaped a loop-slice task")
 			}
 		})
+		// A guarded panic skips the recycle; the taskRun is GC'd with the run.
+		x.putTaskRun(ts2)
 	})
 	return acc
 }

@@ -1,0 +1,93 @@
+package deque
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOwnerThiefStress hammers the deque with its real access pattern —
+// one owner interleaving pushes and pops, several thieves stealing
+// concurrently — under enough volume to force repeated ring growth
+// (initial capacity 8, ~100k items). Run with -race this doubles as the
+// memory-model check for the owner/thief synchronization; without it, the
+// exactly-once accounting still catches lost or duplicated items.
+func TestOwnerThiefStress(t *testing.T) {
+	const (
+		items   = 100_000
+		thieves = 4
+	)
+	d := New[int](8)
+	seen := make([]atomic.Int32, items)
+	var taken atomic.Int64
+	record := func(p *int) {
+		if n := seen[*p].Add(1); n != 1 {
+			t.Errorf("item %d delivered %d times", *p, n)
+		}
+		taken.Add(1)
+	}
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < thieves; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if p, ok := d.Steal(); ok {
+					record(p)
+				} else {
+					runtime.Gosched()
+				}
+			}
+			// Final sweep: drain whatever the owner left behind.
+			for {
+				p, ok := d.Steal()
+				if !ok {
+					return
+				}
+				record(p)
+			}
+		}()
+	}
+
+	// Owner: push in bursts, pop some back — the LIFO/FIFO interleaving the
+	// scheduler produces, with bursts large enough to trigger growth.
+	vals := make([]int, items)
+	next := 0
+	for next < items {
+		burst := 64
+		if items-next < burst {
+			burst = items - next
+		}
+		for i := 0; i < burst; i++ {
+			vals[next] = next
+			d.PushBottom(&vals[next])
+			next++
+		}
+		for i := 0; i < burst/2; i++ {
+			if p, ok := d.PopBottom(); ok {
+				record(p)
+			}
+		}
+	}
+	for {
+		p, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(p)
+	}
+	done.Store(true)
+	wg.Wait()
+
+	if got := taken.Load(); got != items {
+		t.Fatalf("delivered %d items, want %d", got, items)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("item %d delivered %d times, want exactly once", i, seen[i].Load())
+		}
+	}
+}

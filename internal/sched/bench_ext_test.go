@@ -1,0 +1,18 @@
+package sched_test
+
+// Standard `go test -bench` entry points for the gated scheduler
+// microbenchmarks. The bodies live in internal/schedbench so cmd/hbcbench
+// can also run them via testing.Benchmark and emit BENCH_sched.json; this
+// file only adapts them to the go-test harness. External test package:
+// importing schedbench from package sched's own tests would be an import
+// cycle.
+
+import (
+	"testing"
+
+	"hbc/internal/schedbench"
+)
+
+func BenchmarkSpawnJoin(b *testing.B)       { schedbench.SpawnJoin(b) }
+func BenchmarkPromotionTriple(b *testing.B) { schedbench.PromotionTriple(b) }
+func BenchmarkStealLatency(b *testing.B)    { schedbench.StealLatency(b) }

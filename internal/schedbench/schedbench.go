@@ -1,0 +1,146 @@
+// Package schedbench holds the scheduler microbenchmarks behind the
+// regression gate. They live in a normal (non-test) package so that
+// cmd/hbcbench can run them with testing.Benchmark and emit machine-readable
+// BENCH_sched.json, while the standard `go test -bench` entry points in
+// package sched_test wrap the same functions. Keeping them out of package
+// sched itself avoids linking `testing` into the runtime.
+package schedbench
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hbc/internal/sched"
+)
+
+// sink defeats dead-code elimination of the benchmark task bodies without
+// introducing a data race between workers.
+var sink atomic.Int64
+
+// nop is the minimal task body: the benchmark then measures pure scheduler
+// overhead (pool, deque, latch), not work.
+func nop(w *sched.Worker) {}
+
+// spin is a short compute body, enough that a stolen copy is worth the
+// thief's trouble in StealLatency.
+func spin(w *sched.Worker) {
+	x := int64(1)
+	for i := 0; i < 512; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	sink.Store(x)
+}
+
+// SpawnJoin measures the owner fast path: one pooled latch, one spawned
+// task popped right back by the same worker, one helping join. This is the
+// per-fork constant factor of the runtime and must report 0 allocs/op.
+func SpawnJoin(b *testing.B) {
+	team := sched.NewTeam(1)
+	defer team.Close()
+	err := team.Run(func(w *sched.Worker) {
+		// Warm the free lists so steady-state is measured, not first-use.
+		warm(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := w.NewLatch(1)
+			w.Spawn(l, nop)
+			l.Done()
+			w.HelpUntil(l)
+			w.FreeLatch(l)
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// PromotionTriple measures the promotion-shaped fast path: the heartbeat
+// handler's fork of a task triple (two loop slices + a leftover) joined by
+// the promoting worker itself — the clone-optimization path. Must report
+// 0 allocs/op.
+func PromotionTriple(b *testing.B) {
+	team := sched.NewTeam(1)
+	defer team.Close()
+	err := team.Run(func(w *sched.Worker) {
+		warm(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := w.NewLatch(1)
+			w.Spawn(l, nop) // slice A
+			w.Spawn(l, nop) // slice B
+			w.Spawn(l, nop) // leftover
+			l.Done()
+			w.HelpUntil(l)
+			w.FreeLatch(l)
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// StealLatency measures the cross-worker slow path on a two-worker team:
+// worker 0 spawns batches that worker 1 must steal to stay busy. It reports
+// the scheduler's own ns/steal (time a successful steal spent searching for
+// a victim) and the steal rate via the monitoring counters.
+func StealLatency(b *testing.B) {
+	team := sched.NewTeam(2)
+	defer team.Close()
+	before := team.Counters()
+	const batch = 64
+	err := team.Run(func(w *sched.Worker) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := w.NewLatch(1)
+			for j := 0; j < batch; j++ {
+				w.Spawn(l, spin)
+			}
+			l.Done()
+			w.HelpUntil(l)
+			w.FreeLatch(l)
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := team.Counters().Sub(before)
+	if d.Steals > 0 {
+		b.ReportMetric(float64(d.StealNanos)/float64(d.Steals), "ns/steal")
+	}
+	b.ReportMetric(float64(d.Steals)/float64(b.N), "steals/op")
+}
+
+// warm primes a worker's task and latch free lists so pooled-object
+// benchmarks measure steady state.
+func warm(w *sched.Worker) {
+	for i := 0; i < 8; i++ {
+		l := w.NewLatch(1)
+		w.Spawn(l, nop)
+		w.Spawn(l, nop)
+		w.Spawn(l, nop)
+		l.Done()
+		w.HelpUntil(l)
+		w.FreeLatch(l)
+	}
+}
+
+// NamedBench pairs a benchmark with its gate name.
+type NamedBench struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// BenchList returns the scheduler benchmark suite in gate order.
+func BenchList() []NamedBench {
+	return []NamedBench{
+		{Name: "SpawnJoin", Fn: SpawnJoin},
+		{Name: "PromotionTriple", Fn: PromotionTriple},
+		{Name: "StealLatency", Fn: StealLatency},
+	}
+}
