@@ -62,6 +62,7 @@ import (
 	"hbc/internal/loopnest"
 	"hbc/internal/pulse"
 	"hbc/internal/sched"
+	"hbc/internal/telemetry"
 )
 
 // PanicError is the error returned by Runner.RunCtx (and carried by the
@@ -131,22 +132,49 @@ func (s Signal) newSource() pulse.Source {
 // Team is a pool of workers executing heartbeat-scheduled loop nests.
 type Team struct {
 	ws        *sched.Team
+	nworkers  int
 	heartbeat time.Duration
 	signal    Signal
 	watchdog  int
+	// tel is the unified telemetry layer, nil unless WithTelemetry.
+	tel *telemetry.Telemetry
+	// telRing is the requested per-worker ring capacity; telOn records that
+	// WithTelemetry was passed (the ring size alone cannot, since 0 selects
+	// the default).
+	telRing int
+	telOn   bool
 }
 
 // Option configures a Team.
 type Option func(*Team)
 
 // Workers sets the worker count. Defaults to runtime.NumCPU().
-func Workers(n int) Option { return func(t *Team) { t.ws = sched.NewTeam(n) } }
+func Workers(n int) Option { return func(t *Team) { t.nworkers = n } }
 
 // Heartbeat sets the heartbeat period. Defaults to 100µs, the paper's rate.
 func Heartbeat(d time.Duration) Option { return func(t *Team) { t.heartbeat = d } }
 
 // WithSignal selects the heartbeat mechanism. Defaults to SignalPolling.
 func WithSignal(s Signal) Option { return func(t *Team) { t.signal = s } }
+
+// WithTelemetry enables the unified telemetry layer (internal/telemetry):
+// a per-worker ring-buffer tracer recording promotions, steals, parks and
+// wakes, heartbeat deliveries, watchdog failovers, and Adaptive Chunking
+// retunes — exportable as Chrome trace_event JSON or a text timeline — and
+// a metrics registry snapshotting scheduler, pulse, and run statistics in
+// Prometheus and expvar form, servable from an opt-in HTTP endpoint
+// (Telemetry().Registry.Serve). eventsPerWorker sizes each worker's event
+// ring; <= 0 selects the default (telemetry.DefaultEventsPerWorker). A
+// full ring overwrites its oldest events and counts them as dropped.
+//
+// Telemetry off (the default) costs nothing: the spawn/join fast path
+// stays allocation-free and event sites are gated on one pointer test.
+func WithTelemetry(eventsPerWorker int) Option {
+	return func(t *Team) {
+		t.telOn = true
+		t.telRing = eventsPerWorker
+	}
+}
 
 // WithWatchdog arms a pulse watchdog on every Runner the team loads: if the
 // heartbeat source delivers no beat for grace periods (grace < 1 selects
@@ -165,15 +193,46 @@ func WithWatchdog(grace int) Option {
 
 // NewTeam creates a worker team. Close must be called to release it.
 func NewTeam(opts ...Option) *Team {
-	t := &Team{heartbeat: core.DefaultHeartbeat, signal: SignalPolling}
+	t := &Team{heartbeat: core.DefaultHeartbeat, signal: SignalPolling, nworkers: runtime.NumCPU()}
 	for _, o := range opts {
 		o(t)
 	}
-	if t.ws == nil {
-		t.ws = sched.NewTeam(runtime.NumCPU())
+	if t.nworkers < 1 {
+		t.nworkers = 1
+	}
+	var sopts []sched.TeamOption
+	if t.telOn {
+		t.tel = telemetry.New(t.nworkers, t.telRing)
+		sopts = append(sopts, sched.WithTracer(t.tel.Tracer))
+	}
+	t.ws = sched.NewTeam(t.nworkers, sopts...)
+	if t.tel != nil {
+		ws, tr := t.ws, t.tel.Tracer
+		t.tel.Registry.Register("sched", func(emit func(string, float64)) {
+			c := ws.Counters()
+			emit("spawned_total", float64(c.Spawned))
+			emit("executed_total", float64(c.Executed))
+			emit("steals_total", float64(c.Steals))
+			emit("steal_search_ns_total", float64(c.StealNanos))
+			emit("parks_total", float64(c.Parks))
+			emit("wakes_total", float64(c.Wakes))
+			emit("task_pool_hits_total", float64(c.TaskPoolHits))
+			emit("task_pool_misses_total", float64(c.TaskPoolMisses))
+			emit("latch_pool_hits_total", float64(c.LatchPoolHits))
+			emit("latch_pool_misses_total", float64(c.LatchPoolMisses))
+		})
+		t.tel.Registry.Register("trace", func(emit func(string, float64)) {
+			total, dropped := tr.Totals()
+			emit("events_total", float64(total))
+			emit("events_dropped_total", float64(dropped))
+		})
 	}
 	return t
 }
+
+// Telemetry returns the team's telemetry layer, or nil unless the team was
+// created with WithTelemetry.
+func (t *Team) Telemetry() *telemetry.Telemetry { return t.tel }
 
 // Size returns the number of workers.
 func (t *Team) Size() int { return t.ws.Size() }
@@ -365,20 +424,74 @@ func (p *Program) Leftovers() int { return p.p.LeftoverCount() }
 // adapting (the paper's Fig. 11 scenario). Close releases the heartbeat
 // source.
 type Runner struct {
-	x *core.Exec
+	x   *core.Exec
+	tel *telemetry.Telemetry
 }
 
 // Load prepares a Program for execution on the team with the given
-// environment, starting the heartbeat source.
+// environment, starting the heartbeat source. On a team created with
+// WithTelemetry, the runner's promotions, heartbeat detections, chunk
+// retunes, and watchdog failovers are traced, and its run, pulse, and
+// chunk statistics are registered with the metrics registry under the
+// nest's name.
 func (t *Team) Load(p *Program, env any) *Runner {
 	src := t.signal.newSource()
+	var wd *pulse.Watchdog
 	if t.watchdog > 0 {
-		src = pulse.NewWatchdog(src, t.watchdog)
+		wd = pulse.NewWatchdog(src, t.watchdog)
+		src = wd
 	}
 	x := core.NewExec(p.p, t.ws, src, t.heartbeat, env)
+	if t.tel != nil {
+		x.SetTracer(t.tel.Tracer)
+		if wd != nil {
+			wd.SetTracer(t.tel.Tracer)
+		}
+		t.registerRunner(p, x)
+	}
 	x.Start()
-	return &Runner{x: x}
+	return &Runner{x: x, tel: t.tel}
 }
+
+// registerRunner exposes a loaded runner's statistics through the metrics
+// registry: promotion and task counts, heartbeat delivery statistics, the
+// promotion-log drop counter, and the live per-worker AC chunk sizes.
+func (t *Team) registerRunner(p *Program, x *core.Exec) {
+	name := p.p.Nest.Name
+	if name == "" {
+		name = "nest"
+	}
+	workers := t.ws.Size()
+	leaves := p.p.Leaves()
+	t.tel.Registry.Register("run_"+name, func(emit func(string, float64)) {
+		s := x.Stats()
+		emit("promotions_total", float64(s.Promotions()))
+		emit("tasks_forked_total", float64(s.TasksForked()))
+		emit("leftover_runs_total", float64(s.LeftoverRuns()))
+		for lvl, n := range s.ByLevel() {
+			emit(fmt.Sprintf("promotions_level_%d_total", lvl), float64(n))
+		}
+		ps := x.Pulse()
+		emit("pulse_generated_total", float64(ps.Generated))
+		emit("pulse_detected_total", float64(ps.Detected))
+		emit("pulse_missed_total", float64(ps.Missed))
+		emit("pulse_polls_total", float64(ps.Polls))
+		emit("pulse_failovers_total", float64(ps.Failovers))
+		emit("pulse_lag_mean_ns", float64(ps.LagMean))
+		emit("pulse_lag_max_ns", float64(ps.LagMax))
+		emit("promolog_dropped_total", float64(x.EventsDropped()))
+		for w := 0; w < workers; w++ {
+			chunks := x.Chunks(w)
+			for ord := 0; ord < leaves && ord < len(chunks); ord++ {
+				emit(fmt.Sprintf("ac_chunk_w%d_leaf%d", w, ord), float64(chunks[ord]))
+			}
+		}
+	})
+}
+
+// Telemetry returns the telemetry layer of the team this runner was loaded
+// on, or nil unless the team was created with WithTelemetry.
+func (r *Runner) Telemetry() *telemetry.Telemetry { return r.tel }
 
 // Run executes one invocation of the nest, blocking until every iteration
 // completed, and returns the root reduction accumulator (nil if none).
@@ -423,6 +536,15 @@ func (r *Runner) Chunks(w int) []int64 { return r.x.Chunks(w) }
 
 // Events returns the recorded promotion events (Config.TraceEvents).
 func (r *Runner) Events() []core.PromotionEvent { return r.x.Events() }
+
+// EventTrace returns the recorded promotion events together with the
+// bounded log's truncation state (Config.TraceEvents): Dropped counts the
+// promotions that arrived after the log filled, so a truncated trace is
+// never mistaken for a complete one.
+func (r *Runner) EventTrace() core.EventTrace { return r.x.EventTrace() }
+
+// EventTrace is a snapshot of the promotion log with truncation state.
+type EventTrace = core.EventTrace
 
 // PromotionEvent is one recorded promotion; see Config.TraceEvents.
 type PromotionEvent = core.PromotionEvent

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
 // Adaptive Chunking (AC) — the paper's §5.1 runtime.
 //
 // The chunking transformation amortizes polling cost over S iterations, but
@@ -14,17 +19,18 @@ package core
 // per worker and per leaf loop, start at 1, and persist across invocations
 // of the same program — the repeated-invocation adaptation of Fig. 11.
 
-// acWorker is one worker's Adaptive Chunking state. Workers never share
-// these (each slot is written only by its owning worker), so no atomics are
-// needed; the padding keeps slots on separate cache lines. Slots live in a
-// contiguous slice (Exec.ac), so both sides are padded: trailing-only
-// padding keeps a slot's hot head off the *previous* slot's fields, but
-// leaves it sharing a line with whatever the allocator places before the
-// slice — and, if fields are ever added without re-auditing the size, with
-// the previous slot's tail. The leading pad makes the isolation
-// unconditional. polls is incremented on every heartbeat poll — the hottest
-// per-worker write in the runtime — so a shared line here shows up directly
-// in Fig. 7-style overhead measurements.
+// acWorker is one worker's Adaptive Chunking state. Each slot is written
+// only by its owning worker; the chunk sizes are atomic so observers
+// (Exec.Chunks, the telemetry registry) can sample them mid-run without a
+// data race, while the owner's hot-path read (chunkFor) stays a single
+// uncontended load. Slots live in a contiguous slice (Exec.ac), so both
+// sides are padded: trailing-only padding keeps a slot's hot head off the
+// *previous* slot's fields, but leaves it sharing a line with whatever the
+// allocator places before the slice — and, if fields are ever added without
+// re-auditing the size, with the previous slot's tail. The leading pad
+// makes the isolation unconditional. polls is incremented on every
+// heartbeat poll — the hottest per-worker write in the runtime — so a
+// shared line here shows up directly in Fig. 7-style overhead measurements.
 type acWorker struct {
 	_ [64]byte // leading pad: isolate from the previous slot / slice header
 	// polls counts polling-function invocations since the last detected
@@ -34,8 +40,10 @@ type acWorker struct {
 	// window.
 	window []int64
 	wfill  int
-	// chunk is the current chunk size per leaf ordinal.
-	chunk []int64
+	// chunk is the current chunk size per leaf ordinal. Written only by the
+	// owning worker (onHeartbeat); read concurrently by observers, hence
+	// atomic — the owner pays a plain load/store on its own cache line.
+	chunk []atomic.Int64
 	_     [64]byte // trailing pad: isolate from the next slot's leading bytes
 }
 
@@ -43,47 +51,74 @@ func (a *acWorker) init(p *Program, o Options) {
 	a.window = make([]int64, o.WindowSize)
 	a.wfill = 0
 	a.polls = 0
-	a.chunk = make([]int64, len(p.leaves))
+	a.chunk = make([]atomic.Int64, len(p.leaves))
 	for i := range a.chunk {
-		a.chunk[i] = 1 // the paper's initial chunk size
+		a.chunk[i].Store(1) // the paper's initial chunk size
 	}
+}
+
+// rescaleChunk computes chunk * m / target, clamped to [1, max], without
+// the int64 overflow the naive product suffers: when chunk and m are both
+// large (a coarse chunk during a long poll-dense interval), chunk*m can
+// wrap negative before the clamp, and the old `s < 1` branch then reset
+// the chunk to 1 — restarting adaptation from scratch. The product is
+// taken in 128 bits and the quotient clamped before narrowing.
+func rescaleChunk(chunk, m, target, max int64) int64 {
+	if chunk < 1 || m < 1 {
+		return 1
+	}
+	hi, lo := bits.Mul64(uint64(chunk), uint64(m))
+	if hi >= uint64(target) {
+		// The quotient alone exceeds 64 bits; it is certainly >= max.
+		return max
+	}
+	q, _ := bits.Div64(hi, lo, uint64(target))
+	if q > uint64(max) {
+		return max
+	}
+	if q < 1 {
+		return 1
+	}
+	return int64(q)
 }
 
 // onHeartbeat logs the interval's poll count and, at the end of each
 // window, rescales the chunk size of the leaf whose poll detected the beat.
 // ord is -1 when the detecting poll sat at an interior latch, in which case
-// only the window advances.
-func (a *acWorker) onHeartbeat(ord int, o Options) {
+// only the window advances. It returns the rescale that happened, if any,
+// for the caller to trace: retuned is true when a chunk slot was written,
+// with prev/next its old and new sizes and m the window minimum.
+func (a *acWorker) onHeartbeat(ord int, o Options) (prev, next, m int64, retuned bool) {
 	a.window[a.wfill] = a.polls
 	a.polls = 0
 	a.wfill++
 	if a.wfill < len(a.window) {
-		return
+		return 0, 0, 0, false
 	}
 	a.wfill = 0
-	m := a.window[0]
+	m = a.window[0]
 	for _, v := range a.window[1:] {
 		if v < m {
 			m = v
 		}
 	}
 	if ord < 0 || o.Chunk.Kind != ChunkAdaptive {
-		return
+		return 0, 0, 0, false
 	}
-	s := a.chunk[ord] * m / o.TargetPolls
-	if s < 1 {
-		s = 1
-	}
-	if s > o.MaxChunk {
-		s = o.MaxChunk
-	}
-	a.chunk[ord] = s
+	prev = a.chunk[ord].Load()
+	next = rescaleChunk(prev, m, o.TargetPolls, o.MaxChunk)
+	a.chunk[ord].Store(next)
+	return prev, next, m, true
 }
 
 // Chunks returns worker w's current chunk size for each leaf, for
-// observation by experiments.
+// observation by experiments and the telemetry registry. Safe to call
+// while a run is active: the slots are atomic, so sampling never races
+// with the owner's rescale.
 func (x *Exec) Chunks(w int) []int64 {
 	out := make([]int64, len(x.ac[w].chunk))
-	copy(out, x.ac[w].chunk)
+	for i := range out {
+		out[i] = x.ac[w].chunk[i].Load()
+	}
 	return out
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"hbc/internal/telemetry"
 )
 
 // Promotion event tracing: an optional structured log of every promotion,
@@ -44,8 +46,12 @@ func (e PromotionEvent) String() string {
 type eventLog struct {
 	mu     sync.Mutex
 	events []PromotionEvent
-	limit  int
-	start  time.Time
+	// dropped counts promotions that arrived after the log filled. A full
+	// log keeps recording the loss: a truncated trace must be
+	// distinguishable from a complete one.
+	dropped int64
+	limit   int
+	start   time.Time
 }
 
 // maxTraceEvents bounds the event log so long runs cannot exhaust memory.
@@ -55,25 +61,65 @@ func (l *eventLog) add(e PromotionEvent) {
 	l.mu.Lock()
 	if len(l.events) < l.limit {
 		l.events = append(l.events, e)
+	} else {
+		l.dropped++
 	}
 	l.mu.Unlock()
 }
 
 // Events returns the promotion events recorded so far (Options.TraceEvents
-// only), in arrival order, capped at an internal limit.
+// only), in arrival order, capped at an internal limit. Use EventTrace to
+// learn whether the cap truncated the log.
 func (x *Exec) Events() []PromotionEvent {
+	return x.EventTrace().Events
+}
+
+// EventTrace is a snapshot of the promotion event log: the recorded events
+// plus the truncation state of the bounded log.
+type EventTrace struct {
+	// Events holds the recorded promotions in arrival order.
+	Events []PromotionEvent
+	// Dropped counts promotions that were not recorded because the log had
+	// reached its limit.
+	Dropped int64
+	// Truncated reports whether any promotion was dropped; when set, the
+	// trace covers only the first len(Events) promotions of the run.
+	Truncated bool
+}
+
+// EventTrace returns the promotion events recorded so far together with
+// the drop counter (Options.TraceEvents only).
+func (x *Exec) EventTrace() EventTrace {
 	if x.events == nil {
-		return nil
+		return EventTrace{}
 	}
 	x.events.mu.Lock()
 	defer x.events.mu.Unlock()
 	out := make([]PromotionEvent, len(x.events.events))
 	copy(out, x.events.events)
-	return out
+	return EventTrace{Events: out, Dropped: x.events.dropped, Truncated: x.events.dropped > 0}
 }
 
-// recordPromotion appends an event when tracing is on.
+// EventsDropped returns the number of promotions the bounded log failed to
+// record, without copying the log.
+func (x *Exec) EventsDropped() int64 {
+	if x.events == nil {
+		return 0
+	}
+	x.events.mu.Lock()
+	defer x.events.mu.Unlock()
+	return x.events.dropped
+}
+
+// recordPromotion appends an event when tracing is on — to the telemetry
+// tracer's per-worker lane, the promotion log, or both.
 func (x *Exec) recordPromotion(w int, li, lj *cloop, lo, mid, hi int64, leftover bool) {
+	if x.tr != nil {
+		x.tr.Emit(w, telemetry.KindPromotion,
+			telemetry.PackLoopID(li.id.Level, li.id.Index),
+			telemetry.PackLoopID(lj.id.Level, lj.id.Index),
+			lo, mid, hi)
+	}
 	if x.events == nil {
 		return
 	}

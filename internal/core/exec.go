@@ -8,6 +8,7 @@ import (
 
 	"hbc/internal/pulse"
 	"hbc/internal/sched"
+	"hbc/internal/telemetry"
 )
 
 // ErrNotStarted is returned by RunCtx when Start has not been called.
@@ -76,6 +77,9 @@ type Exec struct {
 	trace   []ChunkSample
 	// events is the promotion log, nil unless Options.TraceEvents.
 	events *eventLog
+	// tr is the telemetry tracer, nil unless attached via SetTracer; the
+	// disabled path is one pointer test at each already-rare event site.
+	tr *telemetry.Tracer
 
 	// trPool and snapPool recycle the per-task execution state of promoted
 	// slice and leftover tasks, so a promotion's task bodies do not pay the
@@ -127,6 +131,11 @@ func NewExecShared(prog *Program, team *sched.Team, src pulse.Source, period tim
 
 // Env returns the environment the Exec was created with.
 func (x *Exec) Env() any { return x.env }
+
+// SetTracer attaches a telemetry tracer recording heartbeat detections,
+// promotions, and Adaptive Chunking retunes on the workers' lanes. Must be
+// called before Start; a nil tracer leaves tracing disabled.
+func (x *Exec) SetTracer(tr *telemetry.Tracer) { x.tr = tr }
 
 // Start attaches the heartbeat source. Must precede the first Run. A no-op
 // for shared-source Execs and when already started; idempotent.
@@ -620,13 +629,20 @@ func (ts *taskRun) outermostIdx() int64 {
 // poll checks the heartbeat source and feeds Adaptive Chunking. ord is the
 // polling leaf's ordinal, or -1 at interior latches.
 func (ts *taskRun) poll(ord int) bool {
-	k := ts.x.src.Poll(ts.w.ID())
-	a := &ts.x.ac[ts.w.ID()]
+	w := ts.w.ID()
+	k := ts.x.src.Poll(w)
+	a := &ts.x.ac[w]
 	a.polls++
 	if k == 0 {
 		return false
 	}
-	a.onHeartbeat(ord, ts.x.prog.opts)
+	prev, next, m, retuned := a.onHeartbeat(ord, ts.x.prog.opts)
+	if tr := ts.x.tr; tr != nil {
+		tr.Emit(w, telemetry.KindBeat, int64(k), int64(ord), 0, 0, 0)
+		if retuned {
+			tr.Emit(w, telemetry.KindRetune, int64(ord), next, prev, m, 0)
+		}
+	}
 	return true
 }
 
@@ -642,7 +658,7 @@ func (x *Exec) chunkFor(worker, ord int) int64 {
 	case ChunkNone:
 		return 1
 	default:
-		return x.ac[worker].chunk[ord]
+		return x.ac[worker].chunk[ord].Load()
 	}
 }
 

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+	"hbc/internal/telemetry"
+)
+
+// TestChunksSampledDuringRun pins the Exec.Chunks bugfix: chunk slots are
+// observed concurrently with the owning worker's rescale in onHeartbeat,
+// which was a data race before the slots became atomic. Run under -race
+// (the CI telemetry job does) this test fails on the old representation.
+func TestChunksSampledDuringRun(t *testing.T) {
+	data := make([]int64, 2_000_000)
+	p := MustCompile(sumNest("sum"), Options{
+		Chunk:       ChunkPolicy{Kind: ChunkAdaptive},
+		TargetPolls: 4,
+		WindowSize:  2, // short window: rescales happen constantly
+	})
+	team := sched.NewTeam(2)
+	defer team.Close()
+	x := NewExec(p, team, pulse.NewEveryN(8), DefaultHeartbeat, &sumEnv{data: data})
+	x.Start()
+	defer x.Stop()
+
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	var samples atomic.Int64
+	go func() {
+		defer close(sampled)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for w := 0; w < team.Size(); w++ {
+				for _, c := range x.Chunks(w) {
+					if c < 1 {
+						t.Errorf("sampled chunk %d < 1", c)
+						return
+					}
+				}
+				samples.Add(1)
+			}
+			runtime.Gosched()
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		x.Run()
+	}
+	close(stop)
+	<-sampled
+	if samples.Load() == 0 {
+		t.Fatal("sampler never ran")
+	}
+}
+
+// TestRescaleChunkOverflow pins the AC rescale bugfix: chunk * m used to be
+// computed in int64 before the MaxChunk clamp, so large chunk and poll
+// counts wrapped negative, the s < 1 branch reset the chunk to 1, and
+// adaptation restarted from scratch. The rescale must clamp to MaxChunk
+// instead.
+func TestRescaleChunkOverflow(t *testing.T) {
+	const max = int64(1 << 20)
+	cases := []struct {
+		name                 string
+		chunk, m, target, in int64
+		want                 int64
+	}{
+		{name: "plain growth", chunk: 100, m: 8, target: 4, want: 200},
+		{name: "plain shrink", chunk: 100, m: 1, target: 4, want: 25},
+		{name: "floor at one", chunk: 1, m: 1, target: 4, want: 1},
+		{name: "no polls", chunk: 512, m: 0, target: 4, want: 1},
+		{name: "clamp without overflow", chunk: 1 << 19, m: 64, target: 4, want: max},
+		{name: "product overflows int64", chunk: 1 << 40, m: 1 << 30, target: 4, want: max},
+		{name: "product exceeds 128 bits of quotient", chunk: math.MaxInt64, m: math.MaxInt64, target: 2, want: max},
+		// The exact overflow boundary: the largest chunk whose product with
+		// m still fits in int64, and the first one past it.
+		{name: "below boundary", chunk: math.MaxInt64 / (1 << 30), m: 1 << 30, target: math.MaxInt64, want: math.MaxInt64 / (1 << 30) * (1 << 30) / math.MaxInt64},
+		{name: "past boundary", chunk: math.MaxInt64/(1<<30) + 1, m: 1 << 30, target: 4, want: max},
+	}
+	for _, c := range cases {
+		got := rescaleChunk(c.chunk, c.m, c.target, max)
+		want := c.want
+		if want < 1 {
+			want = 1
+		}
+		if got != want {
+			t.Errorf("%s: rescaleChunk(%d, %d, %d, %d) = %d, want %d",
+				c.name, c.chunk, c.m, c.target, max, got, want)
+		}
+		// Cross-check against exact big-integer arithmetic.
+		if c.m >= 1 {
+			exact := new(big.Int).Mul(big.NewInt(c.chunk), big.NewInt(c.m))
+			exact.Div(exact, big.NewInt(c.target))
+			ref := exact.Int64()
+			if !exact.IsInt64() || ref > max {
+				ref = max
+			}
+			if ref < 1 {
+				ref = 1
+			}
+			if got != ref {
+				t.Errorf("%s: rescaleChunk = %d, big-int reference %d", c.name, got, ref)
+			}
+		}
+	}
+}
+
+// TestOnHeartbeatOverflowKeepsMax drives the overflow through onHeartbeat
+// itself: a huge seeded chunk and a poll-dense window must pin the chunk at
+// MaxChunk, not collapse it to 1.
+func TestOnHeartbeatOverflowKeepsMax(t *testing.T) {
+	opts := (Options{Chunk: ChunkPolicy{Kind: ChunkAdaptive}, TargetPolls: 4, WindowSize: 1}).withDefaults()
+	var a acWorker
+	a.window = make([]int64, opts.WindowSize)
+	a.chunk = make([]atomic.Int64, 1)
+	a.chunk[0].Store(math.MaxInt64 / 2)
+	a.polls = 1 << 32 // poll count large enough to overflow the product
+	prev, next, _, retuned := a.onHeartbeat(0, opts)
+	if !retuned {
+		t.Fatal("expected a rescale at window end")
+	}
+	if prev != math.MaxInt64/2 {
+		t.Fatalf("prev = %d, want seeded chunk", prev)
+	}
+	if next != opts.MaxChunk {
+		t.Fatalf("chunk after overflow rescale = %d, want MaxChunk %d", next, opts.MaxChunk)
+	}
+	if got := a.chunk[0].Load(); got != opts.MaxChunk {
+		t.Fatalf("stored chunk = %d, want MaxChunk %d", got, opts.MaxChunk)
+	}
+}
+
+// TestEventLogDropCounter pins the promotion-log bugfix: a full log must
+// count what it drops instead of truncating silently.
+func TestEventLogDropCounter(t *testing.T) {
+	l := &eventLog{limit: 4, start: time.Now()}
+	for i := 0; i < 10; i++ {
+		l.add(PromotionEvent{Lo: int64(i)})
+	}
+	if len(l.events) != 4 {
+		t.Fatalf("log kept %d events, want 4", len(l.events))
+	}
+	if l.dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", l.dropped)
+	}
+}
+
+// TestEventTraceTruncation checks the drop counter end to end: a run whose
+// promotions exceed the log limit reports Truncated with an exact count.
+func TestEventTraceTruncation(t *testing.T) {
+	data := make([]int64, 200_000)
+	p := MustCompile(sumNest("sum"), Options{TraceEvents: true})
+	team := sched.NewTeam(2)
+	defer team.Close()
+	x := NewExec(p, team, pulse.NewEveryN(4), DefaultHeartbeat, &sumEnv{data: data})
+	x.events.limit = 8 // shrink the cap so truncation is reachable
+	x.Start()
+	defer x.Stop()
+	x.Run()
+
+	et := x.EventTrace()
+	promos := x.Stats().Promotions()
+	if promos <= 8 {
+		t.Skipf("only %d promotions; need > 8 to exercise truncation", promos)
+	}
+	if !et.Truncated {
+		t.Fatalf("log overflowed (%d promotions, limit 8) but Truncated is false", promos)
+	}
+	if got := int64(len(et.Events)); got != 8 {
+		t.Fatalf("kept %d events, want 8", got)
+	}
+	if et.Dropped != promos-8 {
+		t.Fatalf("Dropped = %d, want %d (promotions %d - limit 8)", et.Dropped, promos-8, promos)
+	}
+	if x.EventsDropped() != et.Dropped {
+		t.Fatalf("EventsDropped = %d, want %d", x.EventsDropped(), et.Dropped)
+	}
+}
+
+// TestFormatTimelineZeroBin pins the bin <= 0 edge: the formatter must fall
+// back to a millisecond bin instead of dividing by zero.
+func TestFormatTimelineZeroBin(t *testing.T) {
+	events := []PromotionEvent{
+		{When: 100 * time.Microsecond},
+		{When: 1500 * time.Microsecond, Leftover: true},
+	}
+	for _, bin := range []time.Duration{0, -time.Second} {
+		out := FormatTimeline(events, bin)
+		if !strings.Contains(out, "1ms bins") {
+			t.Fatalf("FormatTimeline(bin=%v) did not fall back to 1ms bins:\n%s", bin, out)
+		}
+		if !strings.Contains(out, "2 events") {
+			t.Fatalf("FormatTimeline(bin=%v) lost events:\n%s", bin, out)
+		}
+	}
+	if out := FormatTimeline(nil, 0); !strings.Contains(out, "no promotions") {
+		t.Fatalf("empty timeline = %q", out)
+	}
+}
+
+// TestTracerRecordsRuntimeEvents checks the core wiring: with a tracer
+// attached, a promoting run emits beat, promotion, and retune events on
+// worker lanes.
+func TestTracerRecordsRuntimeEvents(t *testing.T) {
+	data := make([]int64, 500_000)
+	p := MustCompile(sumNest("sum"), Options{
+		Chunk:       ChunkPolicy{Kind: ChunkAdaptive},
+		TargetPolls: 4,
+		WindowSize:  2,
+	})
+	team := sched.NewTeam(2)
+	defer team.Close()
+	tr := telemetry.NewTracer(team.Size(), 0)
+	x := NewExec(p, team, pulse.NewEveryN(8), DefaultHeartbeat, &sumEnv{data: data})
+	x.SetTracer(tr)
+	x.Start()
+	defer x.Stop()
+	x.Run()
+
+	counts := tr.Snapshot().CountByKind()
+	if counts[telemetry.KindBeat] == 0 {
+		t.Fatal("no beat events recorded")
+	}
+	if got, want := int64(counts[telemetry.KindPromotion]), x.Stats().Promotions(); got != want {
+		t.Fatalf("tracer recorded %d promotions, stats say %d", got, want)
+	}
+	if counts[telemetry.KindRetune] == 0 {
+		t.Fatal("no retune events recorded")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hbc/internal/telemetry"
 )
 
 // Watchdog wraps a heartbeat Source and guards against it going silent. A
@@ -37,6 +39,9 @@ type Watchdog struct {
 	fb       atomic.Pointer[Timer]
 	failMu   sync.Mutex
 	fails    atomic.Int64
+	// tr is the telemetry tracer, nil unless attached; failovers are rare,
+	// so the disabled-path cost is one pointer test on an already-cold path.
+	tr *telemetry.Tracer
 }
 
 // DefaultGrace is the default silence threshold, in heartbeat periods. It is
@@ -56,6 +61,11 @@ func NewWatchdog(inner Source, grace int) *Watchdog {
 
 // Name implements Source.
 func (d *Watchdog) Name() string { return d.inner.Name() + "+watchdog" }
+
+// SetTracer attaches a telemetry tracer; failovers are recorded on the
+// lane of the worker whose poll detected the stall. Must be called before
+// Attach; a nil tracer leaves tracing disabled.
+func (d *Watchdog) SetTracer(tr *telemetry.Tracer) { d.tr = tr }
 
 // Attach implements Source.
 func (d *Watchdog) Attach(workers int, period time.Duration) {
@@ -92,7 +102,9 @@ func (d *Watchdog) Poll(w int) int {
 		return k
 	}
 	if now-d.lastBeat.Load() > window {
-		d.failover()
+		if d.failover() {
+			d.tr.Emit(w, telemetry.KindFailover, d.fails.Load(), 0, 0, 0, 0)
+		}
 		if fb := d.fb.Load(); fb != nil {
 			return fb.Poll(w)
 		}
@@ -100,12 +112,13 @@ func (d *Watchdog) Poll(w int) int {
 	return 0
 }
 
-// failover installs the fallback Timer exactly once.
-func (d *Watchdog) failover() {
+// failover installs the fallback Timer exactly once, reporting whether
+// this call performed the installation.
+func (d *Watchdog) failover() bool {
 	d.failMu.Lock()
 	defer d.failMu.Unlock()
 	if d.fb.Load() != nil {
-		return
+		return false
 	}
 	fb := NewTimer()
 	fb.Attach(d.workers, d.period)
@@ -117,6 +130,7 @@ func (d *Watchdog) failover() {
 	}
 	d.fails.Add(1)
 	d.fb.Store(fb)
+	return true
 }
 
 // FailedOver reports whether the watchdog has switched to fallback polling.

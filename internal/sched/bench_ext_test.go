@@ -13,6 +13,7 @@ import (
 	"hbc/internal/schedbench"
 )
 
-func BenchmarkSpawnJoin(b *testing.B)       { schedbench.SpawnJoin(b) }
-func BenchmarkPromotionTriple(b *testing.B) { schedbench.PromotionTriple(b) }
-func BenchmarkStealLatency(b *testing.B)    { schedbench.StealLatency(b) }
+func BenchmarkSpawnJoin(b *testing.B)             { schedbench.SpawnJoin(b) }
+func BenchmarkPromotionTriple(b *testing.B)       { schedbench.PromotionTriple(b) }
+func BenchmarkPromotionTripleTraced(b *testing.B) { schedbench.PromotionTripleTraced(b) }
+func BenchmarkStealLatency(b *testing.B)          { schedbench.StealLatency(b) }

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"hbc/internal/deque"
+	"hbc/internal/telemetry"
 )
 
 // ErrTeamClosed is returned by Run when the team has been closed. It replaces
@@ -245,10 +246,29 @@ func newTeam(n int) *Team {
 	return t
 }
 
+// TeamOption configures a Team at creation, before its workers start.
+type TeamOption func(*Team)
+
+// WithTracer attaches a telemetry tracer: workers record steal, park, and
+// unpark events on their lanes. Must be passed at creation (the field is
+// read by running workers); a nil tracer leaves tracing disabled, and the
+// disabled path is a single pointer test — the spawn/join fast path stays
+// allocation-free either way.
+func WithTracer(tr *telemetry.Tracer) TeamOption {
+	return func(t *Team) {
+		for _, w := range t.workers {
+			w.tr = tr
+		}
+	}
+}
+
 // NewTeam creates a team with n workers (n < 1 is treated as 1) and starts
 // them. Close must be called to release the worker goroutines.
-func NewTeam(n int) *Team {
+func NewTeam(n int, opts ...TeamOption) *Team {
 	t := newTeam(n)
+	for _, o := range opts {
+		o(t)
+	}
 	for _, w := range t.workers {
 		t.wg.Add(1)
 		go w.loop()
@@ -345,7 +365,10 @@ type Worker struct {
 	id   int
 	team *Team
 	dq   *deque.Deque[Task]
-	_    [64]byte // keep owner-written state off the line thieves read
+	// tr is the telemetry tracer, nil when tracing is disabled. Immutable
+	// after NewTeam; the worker only ever writes its own lane.
+	tr *telemetry.Tracer
+	_  [64]byte // keep owner-written state off the line thieves read
 
 	// Owner-goroutine-only scheduling state: xorshift state for victim
 	// selection and the task/latch free lists. No atomics needed.
@@ -492,8 +515,10 @@ func (w *Worker) trySteal() *Task {
 				continue
 			}
 			if t, ok := v.dq.Steal(); ok {
+				ns := int64(time.Since(t0))
 				w.c.steals.Add(1)
-				w.c.stealNS.Add(int64(time.Since(t0)))
+				w.c.stealNS.Add(ns)
+				w.tr.Emit(w.id, telemetry.KindSteal, int64(v.id), ns, 0, 0, 0)
 				return t
 			}
 		}
@@ -586,6 +611,7 @@ func (w *Worker) loop() {
 			continue
 		}
 		w.c.parks.Add(1)
+		w.tr.Emit(w.id, telemetry.KindPark, 0, 0, 0, 0, 0)
 		if timer == nil {
 			timer = time.NewTimer(parkFallback)
 		} else {
@@ -599,15 +625,18 @@ func (w *Worker) loop() {
 			return
 		case <-team.wake:
 			w.c.wakes.Add(1)
+			w.tr.Emit(w.id, telemetry.KindUnpark, telemetry.UnparkWake, 0, 0, 0, 0)
 		case t := <-team.inbox:
 			team.nidle.Add(-1)
 			if !timer.Stop() {
 				<-timer.C
 			}
+			w.tr.Emit(w.id, telemetry.KindUnpark, telemetry.UnparkInbox, 0, 0, 0, 0)
 			w.execute(t)
 			continue
 		case <-timer.C:
 			fired = true
+			w.tr.Emit(w.id, telemetry.KindUnpark, telemetry.UnparkTimer, 0, 0, 0, 0)
 		}
 		team.nidle.Add(-1)
 		if !fired && !timer.Stop() {

@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbc/internal/telemetry"
+)
+
+// TestTracerRecordsSchedEvents checks the scheduler's telemetry wiring:
+// with WithTracer, steal and park counter increments are mirrored by ring
+// events on the worker lanes.
+func TestTracerRecordsSchedEvents(t *testing.T) {
+	tr := telemetry.NewTracer(4, 1<<16)
+	team := NewTeam(4, WithTracer(tr))
+	defer team.Close()
+	var spin atomic.Int64
+	for r := 0; r < 4; r++ {
+		team.Run(func(w *Worker) {
+			l := NewLatch(1)
+			for i := 0; i < 64; i++ {
+				w.Spawn(l, func(w *Worker) {
+					for j := 0; j < 20000; j++ {
+						spin.Add(1)
+					}
+				})
+			}
+			l.Done()
+			w.HelpUntil(l)
+		})
+	}
+
+	// Counter increment and event emit are adjacent on the same goroutine
+	// but not atomic together, and idle workers keep parking after Run
+	// returns, so poll until the views agree rather than comparing one
+	// racy pair of snapshots.
+	deadline := time.Now().Add(5 * time.Second)
+	var steals, parks int64
+	var counts map[telemetry.Kind]int
+	for time.Now().Before(deadline) {
+		c := team.Counters()
+		steals, parks = c.Steals, c.Parks
+		counts = tr.Snapshot().CountByKind()
+		stealsAgree := int64(counts[telemetry.KindSteal]) == steals
+		// A parked worker unparks within the fallback-timer period, so an
+		// unpark event follows every park given enough polling.
+		unparksSeen := counts[telemetry.KindPark] > 0 && counts[telemetry.KindUnpark] > 0
+		if stealsAgree && unparksSeen && parks > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if int64(counts[telemetry.KindSteal]) != steals {
+		t.Errorf("tracer has %d steal events, counters say %d steals",
+			counts[telemetry.KindSteal], steals)
+	}
+	// On any multi-worker host the idle workers park once the runs drain;
+	// if the counters saw parks the tracer must have too.
+	if parks > 0 && counts[telemetry.KindPark] == 0 {
+		t.Errorf("counters recorded %d parks but the tracer has no park events", parks)
+	}
+	if counts[telemetry.KindPark] > 0 && counts[telemetry.KindUnpark] == 0 {
+		t.Error("park events recorded but no unpark events")
+	}
+	if spin.Load() != 4*64*20000 {
+		t.Fatalf("workload lost iterations: %d", spin.Load())
+	}
+}
+
+// TestTracerOptionalAndNil checks that a team without WithTracer (nil
+// tracer on every worker) runs normally — the disabled path is the default
+// and must stay inert.
+func TestTracerOptionalAndNil(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	var n atomic.Int64
+	team.Run(func(w *Worker) {
+		l := NewLatch(1)
+		for i := 0; i < 32; i++ {
+			w.Spawn(l, func(w *Worker) { n.Add(1) })
+		}
+		l.Done()
+		w.HelpUntil(l)
+	})
+	if n.Load() != 32 {
+		t.Fatalf("ran %d tasks, want 32", n.Load())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"hbc/internal/sched"
+	"hbc/internal/telemetry"
 )
 
 // sink defeats dead-code elimination of the benchmark task bodies without
@@ -68,6 +69,37 @@ func PromotionTriple(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
+			l := w.NewLatch(1)
+			w.Spawn(l, nop) // slice A
+			w.Spawn(l, nop) // slice B
+			w.Spawn(l, nop) // leftover
+			l.Done()
+			w.HelpUntil(l)
+			w.FreeLatch(l)
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// PromotionTripleTraced is PromotionTriple with a live tracer attached and
+// one event recorded per promotion, the way the runtime traces a heartbeat:
+// every sched event site now passes its non-nil pointer test, and Emit
+// writes into the worker's preallocated ring. Tracing on must still report
+// 0 allocs/op — the gate that keeps telemetry cheap enough to leave on
+// during measurement runs.
+func PromotionTripleTraced(b *testing.B) {
+	tr := telemetry.NewTracer(1, 0)
+	team := sched.NewTeam(1, sched.WithTracer(tr))
+	defer team.Close()
+	err := team.Run(func(w *sched.Worker) {
+		warm(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Emit(0, telemetry.KindPromotion, 0, 0, 0, int64(i), 0)
 			l := w.NewLatch(1)
 			w.Spawn(l, nop) // slice A
 			w.Spawn(l, nop) // slice B
@@ -141,6 +173,7 @@ func BenchList() []NamedBench {
 	return []NamedBench{
 		{Name: "SpawnJoin", Fn: SpawnJoin},
 		{Name: "PromotionTriple", Fn: PromotionTriple},
+		{Name: "PromotionTripleTraced", Fn: PromotionTripleTraced},
 		{Name: "StealLatency", Fn: StealLatency},
 	}
 }

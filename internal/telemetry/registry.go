@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry collects named metric groups and serves point-in-time snapshots
+// of them in Prometheus text exposition format and as expvar-style JSON.
+// Collectors are pull-based: registering costs nothing at runtime; the
+// sources (scheduler counters, pulse statistics, run statistics, AC chunk
+// sizes) are only read when a snapshot is gathered, so observation pays
+// the aggregation cost, never the hot path.
+type Registry struct {
+	mu     sync.Mutex
+	groups []group
+	taken  map[string]bool
+}
+
+// A Collector emits the current value of each metric in its group. Metric
+// names are suffixes: the full exposition name is hbc_<group>_<metric>.
+type Collector func(emit func(metric string, value float64))
+
+type group struct {
+	name    string
+	collect Collector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{taken: map[string]bool{}}
+}
+
+// Register adds a metric group. If the name is already registered — e.g.
+// the same program loaded twice on one team — a numeric suffix is appended
+// so both groups stay visible. The returned name is the one registered.
+func (r *Registry) Register(name string, c Collector) string {
+	name = sanitize(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	final := name
+	for i := 2; r.taken[final]; i++ {
+		final = fmt.Sprintf("%s_%d", name, i)
+	}
+	r.taken[final] = true
+	r.groups = append(r.groups, group{name: final, collect: c})
+	return final
+}
+
+// Sample is one gathered metric value.
+type Sample struct {
+	// Name is the full metric name, e.g. "hbc_sched_steals_total".
+	Name  string
+	Value float64
+}
+
+// Gather invokes every collector and returns the samples in registration
+// order (stable within a group in emission order).
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	groups := make([]group, len(r.groups))
+	copy(groups, r.groups)
+	r.mu.Unlock()
+	var out []Sample
+	for _, g := range groups {
+		prefix := "hbc_" + g.name + "_"
+		g.collect(func(metric string, v float64) {
+			out = append(out, Sample{Name: prefix + sanitize(metric), Value: v})
+		})
+	}
+	return out
+}
+
+// sanitize maps a name onto the Prometheus metric-name alphabet.
+func sanitize(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+// WritePrometheus writes every gathered sample in Prometheus text
+// exposition format (version 0.0.4). Names ending in _total are typed as
+// counters, everything else as gauges.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Gather() {
+		typ := "gauge"
+		if strings.HasSuffix(s.Name, "_total") {
+			typ = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", s.Name, typ, s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExpvarJSON renders the gathered samples as one JSON object with sorted
+// keys — the shape expvar consumers expect.
+func (r *Registry) ExpvarJSON() string {
+	samples := r.Gather()
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	m := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		m[s.Name] = s.Value
+	}
+	b, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// expvarPublished guards the process-global expvar namespace: expvar.Publish
+// panics on duplicate names, and tests create many registries.
+var expvarPublished sync.Map // name -> *Registry holder
+
+type expvarHolder struct {
+	mu sync.Mutex
+	r  *Registry
+}
+
+// PublishExpvar exposes the registry under the given expvar name (e.g. on
+// the standard /debug/vars endpoint). Idempotent: publishing a second
+// registry under the same name atomically replaces the first rather than
+// panicking, so short-lived teams in tests can share the name.
+func (r *Registry) PublishExpvar(name string) {
+	hAny, loaded := expvarPublished.LoadOrStore(name, &expvarHolder{r: r})
+	h := hAny.(*expvarHolder)
+	h.mu.Lock()
+	h.r = r
+	h.mu.Unlock()
+	if !loaded {
+		expvar.Publish(name, expvar.Func(func() any {
+			h.mu.Lock()
+			reg := h.r
+			h.mu.Unlock()
+			var raw json.RawMessage = []byte(reg.ExpvarJSON())
+			return raw
+		}))
+	}
+}
+
+// Handler returns an http.Handler serving the registry:
+//
+//	GET /metrics  Prometheus text exposition format
+//	GET /vars     expvar-style JSON
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = io.WriteString(w, r.ExpvarJSON())
+	})
+	return mux
+}
+
+// MetricsServer is a running opt-in HTTP metrics endpoint; see Serve.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the address the server is listening on (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// Serve starts an HTTP server on addr exposing Handler's routes — the
+// opt-in scrape endpoint a serving stack points Prometheus at. The server
+// runs until Close is called on the returned handle.
+func (r *Registry) Serve(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}
