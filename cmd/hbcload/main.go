@@ -1,0 +1,329 @@
+// Command hbcload drives an hbcserve instance and reports what it sustained:
+// throughput, latency quantiles of admitted requests, shed and error counts,
+// all written as a BENCH_serve.json artifact (internal/stats.BenchSuite).
+//
+// Two drive modes:
+//
+//   - closed loop (default): -c concurrent clients, each issuing its next
+//     request as soon as the previous completes, until -n requests total.
+//     Offered load adapts to the server — the classic saturation probe.
+//   - open loop: -rate R issues requests at a fixed R/s regardless of
+//     completions (bounded by -duration), modelling independent arrivals;
+//     queueing delay shows up in the latencies instead of the arrival gaps.
+//
+// Requests spread across -tenants tenants round-robin (header X-Tenant) and
+// carry a per-request deadline (header X-Deadline-Ms).
+//
+// Assertion flags turn the generator into a CI gate:
+//
+//	-require-shed               fail unless >= 1 request was shed (429) and
+//	                            every 429 carried a Retry-After hint
+//	-max-deadline-violations N  fail if more than N admitted requests ran
+//	                            past their deadline (client-observed, with
+//	                            -deadline-slack grace), or if any request
+//	                            was rejected 504 (server-side deadline)
+//	-min-ok N                   fail unless >= N requests succeeded
+//
+// Usage:
+//
+//	hbcload -url http://127.0.0.1:8077 -kernel spmv -c 32 -n 300 -json out
+//	hbcload -kernel all -rate 200 -duration 10s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbc/internal/stats"
+)
+
+type results struct {
+	mu         sync.Mutex
+	latencies  []time.Duration // admitted (200) only
+	violations int             // 200s past deadline+slack
+	ok         int
+	shed       int // 429
+	shedNoHint int // 429 without Retry-After
+	timeouts   int // 504
+	draining   int // 503
+	kernelErr  int // 500
+	other      int // transport and unexpected statuses
+}
+
+func main() {
+	var (
+		base     = flag.String("url", "http://127.0.0.1:8077", "hbcserve base URL")
+		kernels  = flag.String("kernel", "all", "comma-separated kernel names, or 'all' to query /kernels")
+		conc     = flag.Int("c", 8, "closed-loop concurrent clients")
+		total    = flag.Int("n", 200, "closed-loop total requests")
+		rate     = flag.Float64("rate", 0, "open-loop request rate per second (0 = closed loop)")
+		duration = flag.Duration("duration", 10*time.Second, "open-loop drive duration")
+		deadline = flag.Duration("deadline", 5*time.Second, "per-request deadline (X-Deadline-Ms)")
+		slack    = flag.Duration("deadline-slack", 250*time.Millisecond, "client-side grace over the deadline before counting a violation")
+		tenants  = flag.Int("tenants", 4, "number of synthetic tenants (X-Tenant)")
+		jsonDir  = flag.String("json", "", "write BENCH_serve.json into this directory")
+		reqShed  = flag.Bool("require-shed", false, "fail unless at least one request was shed with a retry hint")
+		maxViol  = flag.Int("max-deadline-violations", -1, "fail above this many deadline violations (-1 disables)")
+		minOK    = flag.Int("min-ok", 1, "fail unless at least this many requests succeeded")
+	)
+	flag.Parse()
+
+	names, err := kernelList(*base, *kernels)
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: *deadline + 10*time.Second}
+	res := &results{}
+
+	var reqSeq atomic.Int64
+	fire := func() reqOutcome {
+		i := reqSeq.Add(1) - 1
+		kernel := names[int(i)%len(names)]
+		tenant := fmt.Sprintf("tenant-%d", int(i)%*tenants)
+		o := oneRequest(client, *base, kernel, tenant, *deadline)
+		res.record(o, *deadline+*slack)
+		return o
+	}
+
+	mode := "closed"
+	t0 := time.Now()
+	if *rate > 0 {
+		mode = "open"
+		interval := time.Duration(float64(time.Second) / *rate)
+		var wg sync.WaitGroup
+		tick := time.NewTicker(interval)
+		stop := time.After(*duration)
+	drive:
+		for {
+			select {
+			case <-tick.C:
+				wg.Add(1)
+				go func() { defer wg.Done(); _ = fire() }()
+			case <-stop:
+				break drive
+			}
+		}
+		tick.Stop()
+		wg.Wait()
+	} else {
+		var wg sync.WaitGroup
+		for c := 0; c < *conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for int(reqSeq.Load()) < *total {
+					o := fire()
+					// A well-behaved closed-loop client honours the server's
+					// Retry-After hint (capped) instead of hammering a shard
+					// that just shed it; otherwise one saturated instant can
+					// burn the whole request budget on 429s.
+					if o.status == http.StatusTooManyRequests {
+						back := o.retryAfter
+						if back <= 0 {
+							back = 25 * time.Millisecond
+						}
+						if back > 250*time.Millisecond {
+							back = 250 * time.Millisecond
+						}
+						time.Sleep(back)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(t0)
+
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	q := func(p float64) time.Duration {
+		if len(res.latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(res.latencies)))
+		if i >= len(res.latencies) {
+			i = len(res.latencies) - 1
+		}
+		return res.latencies[i]
+	}
+	var mean time.Duration
+	if len(res.latencies) > 0 {
+		var sum time.Duration
+		for _, l := range res.latencies {
+			sum += l
+		}
+		mean = sum / time.Duration(len(res.latencies))
+	}
+	qps := float64(res.ok) / elapsed.Seconds()
+
+	fmt.Printf("hbcload: %s loop against %s, kernels %v, %d tenant(s)\n", mode, *base, names, *tenants)
+	fmt.Printf("  %d ok (%.1f req/s), %d shed, %d deadline-expired, %d draining, %d kernel errors, %d other\n",
+		res.ok, qps, res.shed, res.timeouts, res.draining, res.kernelErr, res.other)
+	fmt.Printf("  latency p50 %v  p90 %v  p99 %v  mean %v\n",
+		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), mean.Round(time.Microsecond))
+
+	if *jsonDir != "" {
+		suite := &stats.BenchSuite{
+			Suite:  "serve",
+			GoOS:   runtime.GOOS,
+			GoArch: runtime.GOARCH,
+			Benchmarks: []stats.BenchRecord{{
+				Name:    "Serve/" + mode,
+				NsPerOp: float64(mean),
+				N:       res.ok,
+				Extra: map[string]float64{
+					"qps":                 qps,
+					"p50_ms":              ms(q(0.50)),
+					"p90_ms":              ms(q(0.90)),
+					"p99_ms":              ms(q(0.99)),
+					"shed":                float64(res.shed),
+					"deadline_expired":    float64(res.timeouts),
+					"deadline_violations": float64(res.violations),
+					"kernel_errors":       float64(res.kernelErr),
+				},
+			}},
+		}
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := *jsonDir + "/BENCH_serve.json"
+		if err := suite.WriteFile(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+
+	failed := false
+	if *reqShed && res.shed == 0 {
+		fmt.Fprintln(os.Stderr, "hbcload: FAIL: no request was shed (want load shedding under this drive)")
+		failed = true
+	}
+	if *reqShed && res.shedNoHint > 0 {
+		fmt.Fprintf(os.Stderr, "hbcload: FAIL: %d shed response(s) missing the Retry-After hint\n", res.shedNoHint)
+		failed = true
+	}
+	if *maxViol >= 0 && res.violations+res.timeouts > *maxViol {
+		fmt.Fprintf(os.Stderr, "hbcload: FAIL: %d deadline violation(s) + %d server-side expiries, max %d\n",
+			res.violations, res.timeouts, *maxViol)
+		failed = true
+	}
+	if res.ok < *minOK {
+		fmt.Fprintf(os.Stderr, "hbcload: FAIL: only %d request(s) succeeded, want >= %d\n", res.ok, *minOK)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+type reqOutcome struct {
+	status     int
+	latency    time.Duration
+	retryHint  bool
+	retryAfter time.Duration
+	err        error
+}
+
+func oneRequest(client *http.Client, base, kernel, tenant string, deadline time.Duration) reqOutcome {
+	req, err := http.NewRequest(http.MethodPost, base+"/run/"+kernel, nil)
+	if err != nil {
+		return reqOutcome{err: err}
+	}
+	req.Header.Set("X-Tenant", tenant)
+	req.Header.Set("X-Deadline-Ms", strconv.FormatFloat(ms(deadline), 'f', -1, 64))
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(t0)
+	if err != nil {
+		return reqOutcome{err: err, latency: lat}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	o := reqOutcome{status: resp.StatusCode, latency: lat}
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		o.retryHint = true
+		if secs, err := strconv.Atoi(h); err == nil {
+			o.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return o
+}
+
+func (r *results) record(o reqOutcome, budget time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case o.err != nil:
+		r.other++
+	case o.status == http.StatusOK:
+		r.ok++
+		r.latencies = append(r.latencies, o.latency)
+		if o.latency > budget {
+			r.violations++
+		}
+	case o.status == http.StatusTooManyRequests:
+		r.shed++
+		if !o.retryHint {
+			r.shedNoHint++
+		}
+	case o.status == http.StatusGatewayTimeout:
+		r.timeouts++
+	case o.status == http.StatusServiceUnavailable:
+		r.draining++
+	case o.status == http.StatusInternalServerError:
+		r.kernelErr++
+	default:
+		r.other++
+	}
+}
+
+// kernelList resolves the kernel names to drive: an explicit comma list, or
+// the server's own /kernels inventory for "all".
+func kernelList(base, arg string) ([]string, error) {
+	if arg != "all" {
+		names := strings.Split(arg, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		return names, nil
+	}
+	resp, err := http.Get(base + "/kernels")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		Kernels []string `json:"kernels"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		return nil, fmt.Errorf("parsing /kernels: %w", err)
+	}
+	if len(payload.Kernels) == 0 {
+		return nil, fmt.Errorf("server reports no kernels")
+	}
+	return payload.Kernels, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hbcload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,324 @@
+// Command hbcserve is the multi-tenant kernel-serving daemon: it loads a
+// directory of .hbk kernels, compiles each once per shard of a warm team
+// pool (internal/serve), and serves kernel executions over HTTP/JSON with
+// admission control, per-tenant fair queuing, per-request deadlines, load
+// shedding, and graceful drain.
+//
+// Usage:
+//
+//	hbcserve -kernels kernels                       # serve on :8077
+//	hbcserve -shards 4 -workers 2 -queue 64
+//
+// API:
+//
+//	POST /run/{kernel}   run a kernel; headers: X-Tenant (fair-queuing key),
+//	                     X-Deadline-Ms (request deadline). 200 with a JSON
+//	                     body on success; 429 + Retry-After when shed; 503
+//	                     while draining; 504 past deadline; 500 on a kernel
+//	                     panic (typed, contained to this request).
+//	GET  /kernels        list loaded kernels
+//	GET  /healthz        "ok" (200) or "draining" (503) — flips the moment
+//	                     a drain begins, before in-flight requests finish
+//	GET  /metrics        Prometheus text exposition (pool + every shard)
+//	GET  /vars           the same registry as expvar-style JSON
+//
+// On SIGINT/SIGTERM the server stops admitting (healthz flips to 503 and
+// stays reachable for -drain-linger so load balancers notice), finishes
+// in-flight and queued requests within -drain-timeout, closes every team,
+// then verifies against a final registry snapshot that no goroutine leaked
+// (written to -final-snapshot when set). Exit status 0 means a clean drain
+// and zero leaked goroutines.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hbc"
+	"hbc/internal/serve"
+	"hbc/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8077", "listen address")
+		kernelDir = flag.String("kernels", "kernels", "directory of .hbk kernels to load")
+		shards    = flag.Int("shards", 2, "team shards (also the in-flight limit)")
+		workers   = flag.Int("workers", 0, "workers per shard (0 = NumCPU/shards)")
+		queue     = flag.Int("queue", 16, "admission queue depth")
+		defDL     = flag.Duration("default-deadline", time.Second, "deadline for requests that specify none")
+		maxDL     = flag.Duration("max-deadline", 30*time.Second, "upper clamp on requested deadlines")
+		heartbeat = flag.Duration("heartbeat", 100*time.Microsecond, "heartbeat period")
+		drainLing = flag.Duration("drain-linger", time.Second, "keep /healthz serving 503 at least this long before exiting")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain; in-flight runs are cancelled past it")
+		finalSnap = flag.String("final-snapshot", "", "write the final post-drain registry snapshot (expvar JSON) to this file")
+		leakGrace = flag.Duration("leak-grace", 3*time.Second, "how long to wait for goroutines to settle before the leak check")
+	)
+	flag.Parse()
+
+	// Goroutine baseline for the post-drain leak check, captured before any
+	// serving machinery exists. signal.Notify (below) starts one permanent
+	// watcher goroutine; account for it here.
+	baseline := runtime.NumGoroutine() + 1
+
+	reg := telemetry.NewRegistry()
+	reg.Register("proc", func(emit func(string, float64)) {
+		g := runtime.NumGoroutine()
+		emit("goroutines", float64(g))
+		leaked := g - baseline
+		if leaked < 0 {
+			leaked = 0
+		}
+		emit("leaked_goroutines", float64(leaked))
+	})
+
+	pool := serve.NewPool(serve.Config{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *defDL,
+		MaxDeadline:     *maxDL,
+		Heartbeat:       *heartbeat,
+		Registry:        reg,
+	})
+
+	loaded, skipped := loadKernels(pool, *kernelDir)
+	if len(loaded) == 0 {
+		fmt.Fprintf(os.Stderr, "hbcserve: no loadable kernels in %s\n", *kernelDir)
+		os.Exit(2)
+	}
+	fmt.Printf("hbcserve: loaded %d kernel(s) %v on %d shard(s) x %d worker(s)",
+		len(loaded), loaded, *shards, poolWorkers(*workers, *shards))
+	if skipped > 0 {
+		fmt.Printf(", skipped %d", skipped)
+	}
+	fmt.Println()
+	pool.Start()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run/{kernel}", func(w http.ResponseWriter, r *http.Request) {
+		handleRun(pool, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if pool.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /kernels", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"kernels": pool.Kernels()})
+	})
+	telH := reg.Handler()
+	mux.Handle("GET /metrics", telH)
+	mux.Handle("GET /vars", telH)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbcserve:", err)
+		os.Exit(2)
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("hbcserve: serving on http://%s (POST /run/{kernel})\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("hbcserve: %v — draining\n", s)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "hbcserve: server error:", err)
+		os.Exit(1)
+	}
+
+	// Drain protocol: flip health first (the pool rejects new work from the
+	// same instant), keep /healthz answering 503 for the linger window, then
+	// finish in-flight work and close the teams.
+	code := 0
+	drainStart := time.Now()
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := contextWithTimeout(*drainTO)
+		defer cancel()
+		drainDone <- pool.Drain(ctx)
+	}()
+	if err := <-drainDone; err != nil {
+		fmt.Fprintf(os.Stderr, "hbcserve: forced drain: %v\n", err)
+		code = 1
+	}
+	if rest := *drainLing - time.Since(drainStart); rest > 0 {
+		time.Sleep(rest)
+	}
+	shutCtx, cancel := contextWithTimeout(5 * time.Second)
+	_ = srv.Shutdown(shutCtx)
+	cancel()
+
+	// Leak check against the final registry snapshot: every pool goroutine
+	// (shard loops, workers, heartbeat sources, HTTP serve loop) must be
+	// gone before we call the drain clean.
+	leaked := awaitSettle(baseline, *leakGrace)
+	snap := reg.ExpvarJSON()
+	if *finalSnap != "" {
+		if err := os.WriteFile(*finalSnap, []byte(snap+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hbcserve: writing final snapshot:", err)
+			code = 1
+		}
+	}
+	if leaked > 0 {
+		fmt.Fprintf(os.Stderr, "hbcserve: %d goroutine(s) leaked past drain (baseline %d)\n", leaked, baseline)
+		code = 1
+	}
+	fmt.Printf("hbcserve: drained in %v, %d goroutine(s) leaked\n",
+		time.Since(drainStart).Round(time.Millisecond), leaked)
+	os.Exit(code)
+}
+
+// awaitSettle waits up to grace for the goroutine count to return to the
+// baseline and returns how many remain above it.
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+func awaitSettle(baseline int, grace time.Duration) int {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := runtime.NumGoroutine() - baseline
+		if leaked <= 0 || time.Now().After(deadline) {
+			if leaked < 0 {
+				leaked = 0
+			}
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func poolWorkers(workers, shards int) int {
+	if workers > 0 {
+		return workers
+	}
+	w := runtime.NumCPU() / shards
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runResponse is the success body of POST /run/{kernel}.
+type runResponse struct {
+	Kernel   string  `json:"kernel"`
+	Tenant   string  `json:"tenant"`
+	Shard    int     `json:"shard"`
+	QueuedMs float64 `json:"queued_ms"`
+	RunMs    float64 `json:"run_ms"`
+	Value    any     `json:"value,omitempty"`
+}
+
+type errResponse struct {
+	Error        string  `json:"error"`
+	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
+}
+
+func handleRun(pool *serve.Pool, w http.ResponseWriter, r *http.Request) {
+	kernel := r.PathValue("kernel")
+	tenant := r.Header.Get("X-Tenant")
+	var deadline time.Duration
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		ms, err := strconv.ParseFloat(h, 64)
+		if err != nil || ms <= 0 {
+			writeJSON(w, http.StatusBadRequest, errResponse{Error: "invalid X-Deadline-Ms"})
+			return
+		}
+		deadline = time.Duration(ms * float64(time.Millisecond))
+	}
+
+	res, err := pool.Do(r.Context(), serve.Request{Kernel: kernel, Tenant: tenant, Deadline: deadline})
+	if err != nil {
+		var over *serve.ErrOverloaded
+		var pe *hbc.PanicError
+		switch {
+		case errors.As(err, &over):
+			// Retry-After is whole seconds per RFC 9110; round up so the
+			// hint never understates the wait.
+			secs := int64((over.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			writeJSON(w, http.StatusTooManyRequests, errResponse{
+				Error:        "overloaded",
+				RetryAfterMs: float64(over.RetryAfter) / float64(time.Millisecond),
+			})
+		case errors.Is(err, serve.ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "draining"})
+		case errors.Is(err, serve.ErrUnknownKernel):
+			writeJSON(w, http.StatusNotFound, errResponse{Error: err.Error()})
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			writeJSON(w, http.StatusGatewayTimeout, errResponse{Error: "deadline exceeded"})
+		case errors.As(err, &pe):
+			writeJSON(w, http.StatusInternalServerError, errResponse{Error: "kernel panic: " + pe.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Kernel:   kernel,
+		Tenant:   tenant,
+		Shard:    res.Shard,
+		QueuedMs: float64(res.Queued) / float64(time.Millisecond),
+		RunMs:    float64(res.Run) / float64(time.Millisecond),
+		Value:    res.Value,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// loadKernels registers every loadable .hbk under dir, returning the names
+// loaded and the count skipped (parse/vet/compile failures are reported and
+// skipped, so a corpus may carry known-bad fixtures).
+func loadKernels(pool *serve.Pool, dir string) (loaded []string, skipped int) {
+	seen := map[string]bool{}
+	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".hbk") {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".hbk")
+		if seen[name] {
+			fmt.Fprintf(os.Stderr, "hbcserve: skipping %s: kernel %q already loaded\n", path, name)
+			skipped++
+			return nil
+		}
+		seen[name] = true
+		if regErr := pool.Register(name, serve.KernelFile(path)); regErr != nil {
+			fmt.Fprintf(os.Stderr, "hbcserve: skipping %s: %v\n", path, regErr)
+			skipped++
+			return nil
+		}
+		loaded = append(loaded, name)
+		return nil
+	})
+	return loaded, skipped
+}

@@ -12,11 +12,14 @@
 //	hbctrace -serve 127.0.0.1:9090 kernels/spmv.hbk  # keep serving /metrics
 //
 // With -min-promotions N the exit status reports whether the trace captured
-// at least N promotion events, which lets CI use hbctrace as a
-// self-validating smoke test of the whole telemetry path.
+// at least N promotion events, and with -validate the written trace file is
+// read back and JSON-parsed, which together let CI use hbctrace as a
+// self-validating smoke test of the whole telemetry path with no external
+// tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +42,7 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print the metrics registry in Prometheus text form")
 		serve     = flag.String("serve", "", "keep serving /metrics and /vars on this address after the runs")
 		minPromos = flag.Int("min-promotions", 0, "fail unless the trace holds at least this many promotion events")
+		validate  = flag.Bool("validate", false, "re-read the written trace file and fail unless it parses as a non-empty Chrome trace")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -104,6 +108,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s (%d bytes) — open in Perfetto or chrome://tracing\n", *out, len(raw))
+		if *validate {
+			if err := validateTrace(*out); err != nil {
+				fatal(fmt.Errorf("validating %s: %w", *out, err))
+			}
+			fmt.Printf("validated %s\n", *out)
+		}
+	} else if *validate {
+		fatal(fmt.Errorf("-validate needs a trace file; -o is empty"))
 	}
 	if *metrics {
 		fmt.Println()
@@ -125,6 +137,27 @@ func main() {
 		fmt.Printf("\nserving http://%s/metrics and /vars — ctrl-C to stop\n", ms.Addr())
 		select {}
 	}
+}
+
+// validateTrace re-reads the exported file from disk and checks it is what a
+// trace viewer expects: well-formed JSON whose traceEvents array holds at
+// least one event. Catching a truncated or malformed export here keeps CI
+// honest without shelling out to an external JSON tool.
+func validateTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return err
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -143,6 +143,15 @@ type Team struct {
 	// the default).
 	telRing int
 	telOn   bool
+	// sharedReg, if non-nil, receives the team's metric groups instead of a
+	// fresh registry (WithMetricsInto — the team-pool option).
+	sharedReg *telemetry.Registry
+	// name prefixes the team's metric-group names, so shards of a pool stay
+	// distinguishable inside a shared registry.
+	name string
+	// wrapSource, if non-nil, wraps every heartbeat source Load creates —
+	// the injection point fault testing uses.
+	wrapSource func(pulse.Source) pulse.Source
 }
 
 // Option configures a Team.
@@ -176,6 +185,35 @@ func WithTelemetry(eventsPerWorker int) Option {
 	}
 }
 
+// WithMetricsInto enables telemetry like WithTelemetry (with the default
+// ring size) but registers the team's metric groups into reg instead of a
+// fresh registry. This is the team-pool construction option: every shard of
+// a serving pool publishes into the pool's single registry, so one scrape
+// endpoint covers the whole pool. Combine with WithName to keep shards
+// distinguishable; without it, colliding group names get numeric suffixes.
+func WithMetricsInto(reg *telemetry.Registry) Option {
+	return func(t *Team) {
+		t.telOn = true
+		t.sharedReg = reg
+	}
+}
+
+// WithName names the team. The name prefixes the team's metric-group names
+// (e.g. "shard0_sched" instead of "sched"), which is what makes a shared
+// registry legible when a pool of teams publishes into it.
+func WithName(name string) Option { return func(t *Team) { t.name = name } }
+
+// WithSourceWrapper installs a hook wrapping every heartbeat source the team
+// creates for a loaded Runner. This is the injection point for delivery
+// faults (see internal/chaos.WrapSource): a serving stack's fault tests
+// stall or drop beats on a live team without reaching into the runtime. The
+// wrapper runs before the watchdog is attached, so a WithWatchdog team fails
+// over from a wrapped source exactly as it would from a genuinely silent
+// one. A nil wrap is ignored.
+func WithSourceWrapper(wrap func(pulse.Source) pulse.Source) Option {
+	return func(t *Team) { t.wrapSource = wrap }
+}
+
 // WithWatchdog arms a pulse watchdog on every Runner the team loads: if the
 // heartbeat source delivers no beat for grace periods (grace < 1 selects
 // pulse.DefaultGrace), the runner fails over to plain timer polling so
@@ -203,12 +241,15 @@ func NewTeam(opts ...Option) *Team {
 	var sopts []sched.TeamOption
 	if t.telOn {
 		t.tel = telemetry.New(t.nworkers, t.telRing)
+		if t.sharedReg != nil {
+			t.tel.Registry = t.sharedReg
+		}
 		sopts = append(sopts, sched.WithTracer(t.tel.Tracer))
 	}
 	t.ws = sched.NewTeam(t.nworkers, sopts...)
 	if t.tel != nil {
 		ws, tr := t.ws, t.tel.Tracer
-		t.tel.Registry.Register("sched", func(emit func(string, float64)) {
+		t.tel.Registry.Register(t.group("sched"), func(emit func(string, float64)) {
 			c := ws.Counters()
 			emit("spawned_total", float64(c.Spawned))
 			emit("executed_total", float64(c.Executed))
@@ -221,7 +262,7 @@ func NewTeam(opts ...Option) *Team {
 			emit("latch_pool_hits_total", float64(c.LatchPoolHits))
 			emit("latch_pool_misses_total", float64(c.LatchPoolMisses))
 		})
-		t.tel.Registry.Register("trace", func(emit func(string, float64)) {
+		t.tel.Registry.Register(t.group("trace"), func(emit func(string, float64)) {
 			total, dropped := tr.Totals()
 			emit("events_total", float64(total))
 			emit("events_dropped_total", float64(dropped))
@@ -230,12 +271,32 @@ func NewTeam(opts ...Option) *Team {
 	return t
 }
 
+// group prefixes a metric-group name with the team's name, if set.
+func (t *Team) group(g string) string {
+	if t.name == "" {
+		return g
+	}
+	return t.name + "_" + g
+}
+
 // Telemetry returns the team's telemetry layer, or nil unless the team was
 // created with WithTelemetry.
 func (t *Team) Telemetry() *telemetry.Telemetry { return t.tel }
 
 // Size returns the number of workers.
 func (t *Team) Size() int { return t.ws.Size() }
+
+// Name returns the team's name ("" unless WithName).
+func (t *Team) Name() string { return t.name }
+
+// IdleWorkers returns the number of workers currently parked — the
+// saturation signal an admission controller reads per request (one atomic
+// load). A fully busy team reports 0.
+func (t *Team) IdleWorkers() int { return t.ws.Idle() }
+
+// InflightRuns returns the number of top-level runs currently admitted on
+// the team (submitted or executing).
+func (t *Team) InflightRuns() int { return t.ws.Inflight() }
 
 // Close releases the team's workers. No loops may be running.
 func (t *Team) Close() { t.ws.Close() }
@@ -436,6 +497,9 @@ type Runner struct {
 // nest's name.
 func (t *Team) Load(p *Program, env any) *Runner {
 	src := t.signal.newSource()
+	if t.wrapSource != nil {
+		src = t.wrapSource(src)
+	}
 	var wd *pulse.Watchdog
 	if t.watchdog > 0 {
 		wd = pulse.NewWatchdog(src, t.watchdog)
@@ -463,7 +527,7 @@ func (t *Team) registerRunner(p *Program, x *core.Exec) {
 	}
 	workers := t.ws.Size()
 	leaves := p.p.Leaves()
-	t.tel.Registry.Register("run_"+name, func(emit func(string, float64)) {
+	t.tel.Registry.Register(t.group("run_"+name), func(emit func(string, float64)) {
 		s := x.Stats()
 		emit("promotions_total", float64(s.Promotions()))
 		emit("tasks_forked_total", float64(s.TasksForked()))

@@ -62,12 +62,24 @@ type PanicPlan struct {
 	// AfterIterations fires the panic on the first wrapped body call at
 	// which the cumulative iteration count reaches or exceeds this value.
 	AfterIterations int64
+	// OneShot disarms the plan after the first injected panic, so exactly
+	// one run observes the fault and later runs over the same wrapped nest
+	// proceed clean. Without it the counter only grows, so once the
+	// threshold is crossed every subsequent body call panics — the right
+	// shape for "this nest is poisoned", the wrong one for "fail exactly one
+	// request of a serving pool".
+	OneShot bool
 
 	count atomic.Int64
+	fired atomic.Bool
 }
 
 // Iterations returns the cumulative iteration count observed so far.
 func (p *PanicPlan) Iterations() int64 { return p.count.Load() }
+
+// Fired reports whether the plan has injected its panic. Meaningful for
+// OneShot plans; a repeating plan keeps firing and keeps reporting true.
+func (p *PanicPlan) Fired() bool { return p.fired.Load() }
 
 // WrapNest returns a copy of nest with the plan's leaves wrapped. The
 // original nest is not modified; interior structure, bounds, hooks, and
@@ -84,7 +96,13 @@ func (p *PanicPlan) wrapLoop(l *loopnest.Loop) *loopnest.Loop {
 		c.Body = func(env any, idx []int64, lo, hi int64, acc any) {
 			n := p.count.Add(hi - lo)
 			if p.AfterIterations > 0 && n >= p.AfterIterations {
-				panic(Fault{Loop: name, Iter: n})
+				if !p.OneShot {
+					p.fired.Store(true)
+					panic(Fault{Loop: name, Iter: n})
+				}
+				if p.fired.CompareAndSwap(false, true) {
+					panic(Fault{Loop: name, Iter: n})
+				}
 			}
 			body(env, idx, lo, hi, acc)
 		}

@@ -314,6 +314,19 @@ func (t *Team) Close() {
 // Closed reports whether Close has been called.
 func (t *Team) Closed() bool { return t.closed.Load() }
 
+// Idle returns the number of workers currently parked — workers that found
+// no runnable work and blocked on the wake channel. A saturated team reports
+// 0; a quiescent team reports Size() once every worker has drained its spin
+// budget. One atomic load; cheap enough for an admission controller to read
+// per request.
+func (t *Team) Idle() int { return int(t.nidle.Load()) }
+
+// Inflight returns the number of Run calls currently admitted (submitted or
+// executing). Together with Idle this is the introspection surface a layer
+// above the scheduler uses to judge saturation without touching the
+// per-worker counters.
+func (t *Team) Inflight() int { return int(t.inflight.Load()) }
+
 // Run submits fn as a root task and blocks the calling goroutine until it
 // (and everything it forked and joined internally) completes. Run must be
 // called from outside the team's workers. It returns ErrTeamClosed if the

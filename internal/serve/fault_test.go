@@ -1,0 +1,127 @@
+// Serving-under-fault acceptance tests: chaos-injected mid-request panics
+// must surface as a typed error on that request alone, and a stalled
+// heartbeat source under load must fail over without failing requests.
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hbc"
+	"hbc/internal/chaos"
+	"hbc/internal/pulse"
+	"hbc/internal/serve"
+	"hbc/internal/telemetry"
+)
+
+// TestPanicIsolatedToOneRequest injects a one-shot mid-request panic under
+// concurrent load: exactly one request observes a *hbc.PanicError wrapping
+// the chaos.Fault, every other in-flight request completes, and the shard
+// stays warm for subsequent traffic.
+func TestPanicIsolatedToOneRequest(t *testing.T) {
+	plan := &chaos.PanicPlan{AfterIterations: 1, OneShot: true}
+	nest := plan.WrapNest(burnNest("spiky", 4000, 200))
+
+	p := serve.NewPool(serve.Config{Shards: 2, WorkersPerShard: 2, QueueDepth: 32, DefaultDeadline: 20 * time.Second})
+	defer p.Close()
+	if err := p.Register("spiky", nestBuild(t, nest)); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.Do(context.Background(), serve.Request{Kernel: "spiky", Tenant: "t"})
+		}(i)
+	}
+	wg.Wait()
+
+	var panics, ok int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		default:
+			var pe *hbc.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("request %d: error %v is not a *hbc.PanicError", i, err)
+			}
+			var fault chaos.Fault
+			if !errors.As(err, &fault) {
+				t.Fatalf("request %d: PanicError does not unwrap to the injected chaos.Fault: %v", i, err)
+			}
+			panics++
+		}
+	}
+	if panics != 1 {
+		t.Fatalf("%d requests saw the panic, want exactly 1 (ok=%d)", panics, ok)
+	}
+	if ok != n-1 {
+		t.Fatalf("%d requests succeeded, want %d: the fault leaked beyond its request", ok, n-1)
+	}
+	if !plan.Fired() {
+		t.Fatal("plan reports not fired")
+	}
+
+	// The pool keeps serving after containment.
+	if _, err := p.Do(context.Background(), serve.Request{Kernel: "spiky", Tenant: "t"}); err != nil {
+		t.Fatalf("request after contained panic: %v", err)
+	}
+	if s := p.Stats(); s.Failed != 1 {
+		t.Errorf("Stats().Failed = %d, want 1", s.Failed)
+	}
+}
+
+// TestStalledHeartbeatUnderLoad stalls the epoch heartbeat source mid-load;
+// the watchdog must fail over to timer polling (visible in the shared
+// metrics registry) and every request must still complete.
+func TestStalledHeartbeatUnderLoad(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := serve.NewPool(serve.Config{
+		Shards:          1,
+		WorkersPerShard: 2,
+		QueueDepth:      16,
+		DefaultDeadline: 20 * time.Second,
+		Heartbeat:       200 * time.Microsecond,
+		Registry:        reg,
+		TeamOptions: []hbc.Option{
+			hbc.WithSignal(hbc.SignalEpoch),
+			hbc.WithWatchdog(2),
+			hbc.WithSourceWrapper(func(s pulse.Source) pulse.Source {
+				return chaos.WrapSource(s, chaos.SourcePlan{StallAfter: 10 * time.Millisecond})
+			}),
+		},
+	})
+	defer p.Close()
+	if err := p.Register("burn", nestBuild(t, burnNest("burn", 6000, 500))); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	// Enough sequential load to cross the stall point and give the watchdog
+	// polls to notice the silence.
+	for i := 0; i < 30; i++ {
+		if _, err := p.Do(context.Background(), serve.Request{Kernel: "burn", Tenant: "t"}); err != nil {
+			t.Fatalf("request %d failed under stalled heartbeat: %v", i, err)
+		}
+	}
+
+	failovers := 0.0
+	for _, s := range reg.Gather() {
+		if strings.HasSuffix(s.Name, "pulse_failovers_total") {
+			failovers += s.Value
+		}
+	}
+	if failovers < 1 {
+		t.Errorf("no watchdog failover recorded in the registry; requests survived but the stall went undetected")
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import "sync"
+
+// fairQueue is the admission queue: a bounded multi-queue with one FIFO per
+// tenant and round-robin service across tenants. One hot tenant can fill the
+// shared depth budget and get itself shed, but it cannot starve a light
+// tenant's queued requests: every dispatch cycle visits each tenant with
+// pending work once before revisiting any of them (the classic fair-queuing
+// discipline, with requests as the unit of cost — kernel runtimes are close
+// enough to uniform within a deployment that deficit accounting would buy
+// little).
+//
+// All methods are safe for concurrent use.
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queues holds the per-tenant FIFOs; order lists tenants with pending
+	// requests in round-robin order, next indexing the tenant to serve.
+	queues map[string][]*request
+	order  []string
+	next   int
+	size   int
+	cap    int
+	closed bool
+}
+
+func newFairQueue(capacity int) *fairQueue {
+	q := &fairQueue{queues: make(map[string][]*request), cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a request, reporting false when the queue is at capacity or
+// closed (the caller sheds).
+func (q *fairQueue) push(r *request) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.size >= q.cap {
+		return false
+	}
+	fifo, active := q.queues[r.tenant]
+	q.queues[r.tenant] = append(fifo, r)
+	if !active {
+		q.order = append(q.order, r.tenant)
+	}
+	q.size++
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until a request is available or the queue is closed and empty,
+// in which case it returns nil. Tenants are served round-robin.
+func (q *fairQueue) pop() *request {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 {
+		if q.closed {
+			return nil
+		}
+		q.cond.Wait()
+	}
+	if q.next >= len(q.order) {
+		q.next = 0
+	}
+	tenant := q.order[q.next]
+	fifo := q.queues[tenant]
+	r := fifo[0]
+	fifo[0] = nil // release the request to the GC once served
+	if len(fifo) == 1 {
+		delete(q.queues, tenant)
+		q.order = append(q.order[:q.next], q.order[q.next+1:]...)
+		// next now indexes the following tenant already; wrap in the next call.
+	} else {
+		q.queues[tenant] = fifo[1:]
+		q.next++
+	}
+	q.size--
+	return r
+}
+
+// close stops admission. Blocked pop calls drain the remaining requests and
+// then return nil.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth returns the number of queued requests.
+func (q *fairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func mkreq(tenant string) *request {
+	return &request{
+		tenant: tenant,
+		ctx:    context.Background(),
+		enq:    time.Now(),
+		done:   make(chan outcome, 1),
+	}
+}
+
+func TestFairQueueRoundRobin(t *testing.T) {
+	q := newFairQueue(16)
+	// Hot tenant a enqueues 6 before b and c enqueue 2 each.
+	for i := 0; i < 6; i++ {
+		if !q.push(mkreq("a")) {
+			t.Fatal("push a rejected below capacity")
+		}
+	}
+	for i := 0; i < 2; i++ {
+		q.push(mkreq("b"))
+		q.push(mkreq("c"))
+	}
+	var order []string
+	for q.depth() > 0 {
+		order = append(order, q.pop().tenant)
+	}
+	// Round-robin: the first 6 pops must serve each tenant twice, so b and c
+	// drain before a's backlog does.
+	counts := map[string]int{}
+	for _, tn := range order[:6] {
+		counts[tn]++
+	}
+	if counts["a"] != 2 || counts["b"] != 2 || counts["c"] != 2 {
+		t.Fatalf("first 6 pops = %v, want 2 per tenant (order %v)", counts, order)
+	}
+}
+
+func TestFairQueueCapacityAndClose(t *testing.T) {
+	q := newFairQueue(2)
+	if !q.push(mkreq("a")) || !q.push(mkreq("a")) {
+		t.Fatal("pushes below capacity rejected")
+	}
+	if q.push(mkreq("a")) {
+		t.Fatal("push above capacity admitted")
+	}
+	q.close()
+	if q.push(mkreq("b")) {
+		t.Fatal("push after close admitted")
+	}
+	// Queued requests drain after close; then pop returns nil.
+	if q.pop() == nil || q.pop() == nil {
+		t.Fatal("queued requests lost at close")
+	}
+	if q.pop() != nil {
+		t.Fatal("pop after drain should return nil")
+	}
+}
+
+func TestFairQueuePopBlocksUntilPush(t *testing.T) {
+	q := newFairQueue(4)
+	got := make(chan *request)
+	go func() { got <- q.pop() }()
+	time.Sleep(10 * time.Millisecond)
+	q.push(mkreq("a"))
+	select {
+	case r := <-got:
+		if r == nil || r.tenant != "a" {
+			t.Fatalf("pop returned %v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake on push")
+	}
+}

@@ -1,0 +1,342 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbc"
+	"hbc/internal/loopnest"
+	"hbc/internal/serve"
+)
+
+// burnNest builds a single-loop reducing nest whose per-iteration cost is
+// spin rounds of floating-point work — enough safepoints for cancellation
+// and promotion, with a checkable reduction result.
+func burnNest(name string, iters int64, spin int) *hbc.Nest {
+	return &hbc.Nest{Name: name, Root: &hbc.Loop{
+		Name:   "i",
+		Bounds: func(any, []int64) (int64, int64) { return 0, iters },
+		Body: func(_ any, _ []int64, lo, hi int64, acc any) {
+			s := acc.(*float64)
+			for i := lo; i < hi; i++ {
+				x := 1.0
+				for k := 0; k < spin; k++ {
+					x = x*1.0000001 + 0.0000001
+				}
+				*s += x
+			}
+		},
+		Reduce: loopnest.SumFloat64(),
+	}}
+}
+
+// nestBuild compiles the nest once and loads it per shard.
+func nestBuild(t *testing.T, nest *hbc.Nest) serve.BuildFunc {
+	t.Helper()
+	prog, err := hbc.Compile(nest, hbc.Config{})
+	if err != nil {
+		t.Fatalf("compile %s: %v", nest.Name, err)
+	}
+	return func(_ int, team *hbc.Team) (serve.Runnable, error) {
+		return team.Load(prog, nil), nil
+	}
+}
+
+func TestPoolServesAndCounts(t *testing.T) {
+	p := serve.NewPool(serve.Config{Shards: 2, WorkersPerShard: 2, QueueDepth: 16, DefaultDeadline: 10 * time.Second})
+	defer p.Close()
+	const iters = 5000
+	if err := p.Register("burn", nestBuild(t, burnNest("burn", iters, 50))); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	vals := make([]float64, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.Do(context.Background(), serve.Request{Kernel: "burn", Tenant: "t"})
+			errs[i] = err
+			if err == nil {
+				vals[i] = *res.Value.(*float64)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if vals[i] < iters*0.99 || vals[i] > iters*1.01 {
+			t.Fatalf("request %d: reduction = %v, want ~%d", i, vals[i], iters)
+		}
+	}
+	s := p.Stats()
+	if s.Admitted != 8 || s.Completed != 8 || s.Shed != 0 || s.Failed != 0 {
+		t.Fatalf("stats = %+v, want 8 admitted+completed", s)
+	}
+
+	if _, err := p.Do(context.Background(), serve.Request{Kernel: "nope"}); !errors.Is(err, serve.ErrUnknownKernel) {
+		t.Fatalf("unknown kernel error = %v, want ErrUnknownKernel", err)
+	}
+}
+
+// TestSaturationShedsAndBoundsLatency is the saturation acceptance test:
+// driving the pool far above its admission limit must shed with a typed
+// *ErrOverloaded carrying a retry-after hint, while the requests that WERE
+// admitted keep a bounded p50 and none exceeds its deadline.
+func TestSaturationShedsAndBoundsLatency(t *testing.T) {
+	const deadline = 5 * time.Second
+	p := serve.NewPool(serve.Config{
+		Shards: 2, WorkersPerShard: 1, QueueDepth: 4, DefaultDeadline: deadline,
+	})
+	defer p.Close()
+	if err := p.Register("burn", nestBuild(t, burnNest("burn", 3000, 800))); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	const clients, perClient = 16, 5
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		sheds     int
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				_, err := p.Do(context.Background(), serve.Request{Kernel: "burn", Tenant: "t"})
+				el := time.Since(t0)
+				var over *serve.ErrOverloaded
+				mu.Lock()
+				switch {
+				case err == nil:
+					latencies = append(latencies, el)
+				case errors.As(err, &over):
+					sheds++
+					if over.RetryAfter <= 0 {
+						t.Errorf("shed without a retry-after hint: %+v", over)
+					}
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if sheds == 0 {
+		t.Fatal("no request was shed at 16 concurrent clients against capacity 6")
+	}
+	if len(latencies) == 0 {
+		t.Fatal("no request was admitted")
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := latencies[len(latencies)/2]
+	if p50 > deadline/2 {
+		t.Errorf("p50 of admitted requests = %v, want bounded well under the %v deadline", p50, deadline)
+	}
+	for _, l := range latencies {
+		if l > deadline {
+			t.Errorf("admitted request took %v, beyond its %v deadline", l, deadline)
+		}
+	}
+	if s := p.Stats(); s.Shed == 0 || s.Shed != int64(sheds) {
+		t.Errorf("Stats().Shed = %d, observed %d", s.Shed, sheds)
+	}
+}
+
+// TestFairQueuingAcrossTenants holds the single shard busy, queues a hot
+// tenant's backlog ahead of a light tenant's two requests, and checks
+// round-robin dispatch lets the light tenant through early.
+func TestFairQueuingAcrossTenants(t *testing.T) {
+	release := make(chan struct{})
+	gate := &hbc.Nest{Name: "gate", Root: &hbc.Loop{
+		Name:   "i",
+		Bounds: func(any, []int64) (int64, int64) { return 0, 1 },
+		Body: func(_ any, _ []int64, lo, hi int64, _ any) {
+			<-release
+			time.Sleep(3 * time.Millisecond)
+		},
+	}}
+	p := serve.NewPool(serve.Config{
+		Shards: 1, WorkersPerShard: 1, QueueDepth: 32, DefaultDeadline: 20 * time.Second,
+	})
+	defer p.Close()
+	if err := p.Register("gate", nestBuild(t, gate)); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	var seq atomic.Int64
+	type done struct {
+		tenant string
+		order  int64
+	}
+	results := make(chan done, 16)
+	fire := func(tenant string) {
+		go func() {
+			if _, err := p.Do(context.Background(), serve.Request{Kernel: "gate", Tenant: tenant}); err != nil {
+				t.Errorf("tenant %s: %v", tenant, err)
+			}
+			results <- done{tenant, seq.Add(1)}
+		}()
+	}
+
+	fire("filler") // occupies the shard, blocked on release
+	waitFor(t, func() bool { return p.Stats().Inflight == 1 })
+	for i := 0; i < 8; i++ {
+		fire("hot")
+	}
+	waitFor(t, func() bool { return p.Stats().QueueDepth == 8 })
+	fire("light")
+	fire("light")
+	waitFor(t, func() bool { return p.Stats().QueueDepth == 10 })
+	close(release)
+
+	var lightOrders []int64
+	for i := 0; i < 11; i++ {
+		d := <-results
+		if d.tenant == "light" {
+			lightOrders = append(lightOrders, d.order)
+		}
+	}
+	if len(lightOrders) != 2 {
+		t.Fatalf("light tenant completions = %d, want 2", len(lightOrders))
+	}
+	// Round-robin dispatch serves light on alternate pops, so both of its
+	// requests finish within the first ~5 completions even behind a backlog
+	// of 8 hot requests (allow slack for goroutine wakeup jitter).
+	for _, o := range lightOrders {
+		if o > 7 {
+			t.Errorf("light request finished %d'th of 11; hot tenant starved it", o)
+		}
+	}
+}
+
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	release := make(chan struct{})
+	gate := &hbc.Nest{Name: "gate", Root: &hbc.Loop{
+		Name:   "i",
+		Bounds: func(any, []int64) (int64, int64) { return 0, 1 },
+		Body:   func(_ any, _ []int64, lo, hi int64, _ any) { <-release },
+	}}
+	p := serve.NewPool(serve.Config{
+		Shards: 1, WorkersPerShard: 1, QueueDepth: 8, DefaultDeadline: 20 * time.Second,
+	})
+	defer p.Close()
+	if err := p.Register("gate", nestBuild(t, gate)); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	go p.Do(context.Background(), serve.Request{Kernel: "gate", Tenant: "filler"})
+	waitFor(t, func() bool { return p.Stats().Inflight == 1 })
+
+	_, err := p.Do(context.Background(), serve.Request{Kernel: "gate", Tenant: "t", Deadline: 30 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued-past-deadline error = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	waitFor(t, func() bool { return p.Stats().Expired >= 1 })
+}
+
+func TestDrainGraceful(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := serve.NewPool(serve.Config{Shards: 1, WorkersPerShard: 2, QueueDepth: 8, DefaultDeadline: 20 * time.Second})
+	if err := p.Register("slow", nestBuild(t, burnNest("slow", 20000, 2000))); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	slowErr := make(chan error, 1)
+	go func() {
+		_, err := p.Do(context.Background(), serve.Request{Kernel: "slow", Tenant: "t"})
+		slowErr <- err
+	}()
+	waitFor(t, func() bool { return p.Stats().Inflight == 1 })
+
+	drained := make(chan error, 1)
+	go func() { drained <- p.Drain(context.Background()) }()
+	waitFor(t, func() bool { return p.Draining() })
+
+	if _, err := p.Do(context.Background(), serve.Request{Kernel: "slow"}); !errors.Is(err, serve.ErrDraining) {
+		t.Fatalf("Do during drain = %v, want ErrDraining", err)
+	}
+	if err := <-slowErr; err != nil {
+		t.Fatalf("in-flight request failed during graceful drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+	// Idempotent.
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain = %v", err)
+	}
+
+	// The pool's goroutines (shard loops, team workers, heartbeat sources)
+	// must all be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutines after drain = %d, baseline %d: leak", g, before)
+	}
+}
+
+func TestDrainForcedCancelsInflight(t *testing.T) {
+	p := serve.NewPool(serve.Config{Shards: 1, WorkersPerShard: 1, QueueDepth: 4, DefaultDeadline: 25 * time.Second})
+	// Minutes of work if left alone; cancellable at chunk safepoints.
+	if err := p.Register("huge", nestBuild(t, burnNest("huge", 1<<40, 100))); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	reqErr := make(chan error, 1)
+	go func() {
+		_, err := p.Do(context.Background(), serve.Request{Kernel: "huge", Tenant: "t"})
+		reqErr <- err
+	}()
+	waitFor(t, func() bool { return p.Stats().Inflight == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced Drain = %v, want DeadlineExceeded", err)
+	}
+	select {
+	case err := <-reqErr:
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("cancelled in-flight request returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request not cancelled by forced drain")
+	}
+}
+
+// waitFor polls cond up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-shape latency histogram safe for concurrent Observe:
+// exponential bucket bounds from histMin doubling up to histMax, each bucket
+// one atomic counter. It exists for the serving layer's per-tenant latency
+// metrics, where a full quantile sketch would be overkill: quantile
+// estimates are read from bucket upper bounds, so they are exact to within
+// one bucket width (a factor of two), which is the resolution a load-shedding
+// decision or a dashboard needs.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+}
+
+const (
+	// histMin is the upper bound of the first bucket; durations below it are
+	// indistinguishable from it.
+	histMin = 100 * time.Microsecond
+	// histBuckets doubles histMin 20 times: the last finite bound is ~52s,
+	// with one overflow bucket above it.
+	histBuckets = 21
+)
+
+// bucketIndex maps a duration onto its bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(float64(d) / float64(histMin))))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the upper bound of bucket i; the final bucket is
+// unbounded and reports the largest finite bound.
+func BucketBound(i int) time.Duration {
+	if i >= histBuckets-1 {
+		i = histBuckets - 1
+	}
+	return histMin << uint(i)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean observed duration, 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sumNS.Load()) / n)
+}
+
+// Quantile returns an upper-bound estimate of the q'th quantile (0 < q <= 1):
+// the bound of the bucket holding the q'th observation. Concurrent Observe
+// calls may skew the estimate by the in-flight observations; that is fine
+// for monitoring reads.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBuckets - 1)
+}
+
+// Collect emits the histogram's summary metrics through emit, under the
+// given metric-name prefix: <prefix>_count, <prefix>_mean_ms, and
+// <prefix>_p{50,90,99}_ms — the shape the registry's Prometheus and expvar
+// endpoints expose per tenant.
+func (h *Histogram) Collect(prefix string, emit func(metric string, value float64)) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	emit(prefix+"_count", float64(h.Count()))
+	emit(prefix+"_mean_ms", ms(h.Mean()))
+	emit(prefix+"_p50_ms", ms(h.Quantile(0.50)))
+	emit(prefix+"_p90_ms", ms(h.Quantile(0.90)))
+	emit(prefix+"_p99_ms", ms(h.Quantile(0.99)))
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 10 slow ones: p50 must sit in a fast bucket,
+	// p99 in a slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(200 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	if p50 := h.Quantile(0.50); p50 > time.Millisecond {
+		t.Errorf("p50 = %v, want <= 1ms", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 50*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 50ms", p99)
+	}
+	if mean := h.Mean(); mean < 200*time.Microsecond || mean > 20*time.Millisecond {
+		t.Errorf("mean = %v, out of plausible range", mean)
+	}
+}
+
+func TestHistogramEmptyAndEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-time.Second) // clamped to 0
+	h.Observe(time.Hour)    // overflow bucket
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if q := h.Quantile(1.0); q != BucketBound(histBuckets-1) {
+		t.Errorf("max quantile = %v, want top bucket bound %v", q, BucketBound(histBuckets-1))
+	}
+}
+
+func TestHistogramBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for d := 10 * time.Microsecond; d < 2*time.Minute; d *= 3 {
+		i := bucketIndex(d)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %v: %d < %d", d, i, prev)
+		}
+		if d > BucketBound(i) && i != histBuckets-1 {
+			t.Fatalf("bucketIndex(%v) = %d but bound %v < d", d, i, BucketBound(i))
+		}
+		prev = i
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(g+1) * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*each {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*each)
+	}
+	var emitted int
+	h.Collect("lat", func(metric string, v float64) { emitted++ })
+	if emitted != 5 {
+		t.Fatalf("Collect emitted %d metrics, want 5", emitted)
+	}
+}
