@@ -9,10 +9,16 @@
 //	hbcc kernels/spmv.hbk
 //	hbcc -workers 8 -heartbeat 100us -runs 3 kernels/escape.hbk
 //	hbcc -emit kernels/spmv.hbk     # print the compiled nest and exit
+//	hbcc -checked kernels/spmv.hbk  # guard subscripts the analyzer can't prove
 //
 // Before compiling, hbcc statically verifies the kernel's `parallel for`
 // annotations (internal/analysis): proven races reject the kernel,
 // undecidable subscripts print as warnings. -vet=false skips the check.
+//
+// The fact engine (analysis.BuildFacts) always runs: its per-loop cost
+// estimate seeds Adaptive Chunking's starting chunk, and with -checked its
+// bounds proofs exempt proven-safe subscripts from the runtime range guards
+// — hbcc reports how many accesses each path took.
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 		format    = flag.Bool("fmt", false, "print the canonically formatted kernel and exit")
 		trace     = flag.Bool("trace", false, "print the promotion timeline after the run")
 		vet       = flag.Bool("vet", true, "statically verify DOALL safety before running")
+		checked   = flag.Bool("checked", false, "compile with runtime bounds guards, skipping accesses the analyzer proves safe")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -69,17 +76,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	c, err := frontend.Compile(k)
+	facts := analysis.BuildFacts(file, k)
+	var fopts frontend.Options
+	if *checked {
+		fopts = frontend.Options{CheckBounds: true, Oracle: facts}
+	}
+	c, err := frontend.CompileWith(k, fopts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("kernel %s: %d loops, depth %d\n", k.Name, c.Nest.CountLoops(), c.Nest.Depth())
+	if *checked {
+		fmt.Printf("bounds: %d subscript(s) statically proven, %d guarded at runtime\n",
+			c.ProvenAccesses, c.CheckedAccesses)
+	}
+	if hint := facts.LeafChunkHint(); hint > 1 {
+		fmt.Printf("cost model: initial chunk %d (from static iteration cost)\n", hint)
+	}
 	if *emit {
 		emitNest(c.Nest.Root, 0)
 		return
 	}
 
-	opts := core.Options{TraceEvents: *trace}
+	opts := core.Options{TraceEvents: *trace, InitialChunk: facts.LeafChunkHint()}
 	prog, err := core.Compile(c.Nest, opts)
 	if err != nil {
 		fatal(err)

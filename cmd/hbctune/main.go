@@ -8,6 +8,14 @@
 //
 //	hbctune -bench spmv-powerlaw -scale 0.2
 //	hbctune -bench mandelbrot -targets 1,2,4,8,16 -windows 2,8,32
+//	hbctune -kernel kernels/powersum.hbk -explain
+//
+// With -kernel, hbctune sweeps a .hbk kernel file instead of a named Go
+// workload; -explain additionally prints the fact engine's static cost
+// model (per-loop trip counts, iteration costs, variance class, and the
+// initial-chunk hint that seeds Adaptive Chunking) next to the measured
+// results, so the analyzer's prediction can be compared with what the
+// runtime converged on.
 package main
 
 import (
@@ -19,7 +27,9 @@ import (
 	"strings"
 	"time"
 
+	"hbc/internal/analysis"
 	"hbc/internal/core"
+	"hbc/internal/frontend"
 	"hbc/internal/pulse"
 	"hbc/internal/sched"
 	"hbc/internal/stats"
@@ -29,6 +39,8 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "spmv-powerlaw", "benchmark to tune")
+		kernel    = flag.String("kernel", "", "tune a .hbk kernel file instead of -bench")
+		explain   = flag.Bool("explain", false, "with -kernel: print the static cost model next to measured results")
 		scale     = flag.Float64("scale", 0.5, "input scale")
 		workers   = flag.Int("workers", runtime.NumCPU(), "worker count")
 		runs      = flag.Int("runs", 3, "repetitions (median)")
@@ -38,6 +50,14 @@ func main() {
 		verify    = flag.Bool("verify", false, "verify against the serial oracle")
 	)
 	flag.Parse()
+
+	if *kernel != "" {
+		tuneKernel(*kernel, *explain, *workers, *runs, *heartbeat, parseInts(*targets), parseInts(*windows))
+		return
+	}
+	if *explain {
+		fatal(fmt.Errorf("-explain requires -kernel (the static cost model comes from the .hbk fact engine)"))
+	}
 
 	w, err := workloads.New(*bench)
 	if err != nil {
@@ -78,6 +98,94 @@ func main() {
 		}
 	}
 	fmt.Println(tb.String())
+}
+
+// tuneKernel sweeps the AC parameter space over a .hbk kernel. The fact
+// engine's chunk hint seeds every configuration (the same wiring hbc.Compile
+// uses), so the sweep measures adaptation from the analyzer's starting
+// point, not from the paper's cold chunk of 1.
+func tuneKernel(path string, explain bool, workers, runs int, heartbeat time.Duration, targets, windows []int64) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	k, err := frontend.ParseFile(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	facts := analysis.BuildFacts(path, k)
+	if explain {
+		printCostModel(facts)
+	}
+	c, err := frontend.Compile(k)
+	if err != nil {
+		fatal(err)
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Adaptive Chunking sweep: %s (kernel %s, %d workers)", facts.Kernel, path, workers),
+		"target", "window", "median", "detection%", "chunk(w0)")
+	for _, win := range windows {
+		for _, tgt := range targets {
+			beat := pulse.NewTimer()
+			team := sched.NewTeam(workers)
+			p, err := core.Compile(c.Nest, core.Options{
+				TargetPolls:  tgt,
+				WindowSize:   int(win),
+				InitialChunk: facts.LeafChunkHint(),
+			})
+			if err != nil {
+				fatal(err)
+			}
+			x := core.NewExec(p, team, beat, heartbeat, c.Env)
+			x.Start()
+			ds := make([]time.Duration, runs)
+			for i := range ds {
+				c.Env.Reset()
+				t0 := time.Now()
+				x.Run()
+				ds[i] = time.Since(t0)
+			}
+			st := beat.Stats()
+			chunk := x.Chunks(0)
+			x.Stop()
+			team.Close()
+			tb.Row(tgt, win, stats.Median(ds), st.DetectionRate(), fmt.Sprint(chunk))
+		}
+	}
+	fmt.Println(tb.String())
+}
+
+// printCostModel renders the fact engine's per-loop estimates — the static
+// half of the comparison the measured table provides the dynamic half of.
+func printCostModel(f *analysis.Facts) {
+	fmt.Printf("static cost model: kernel %s (%s)\n", f.Kernel, describePurity(f))
+	for _, l := range f.Loops {
+		indent := strings.Repeat("  ", l.Depth+1)
+		kind := "serial"
+		if l.Parallel {
+			kind = "parallel"
+		}
+		fmt.Printf("%s%s loop %s (line %d): trip %s, iter cost %s, variance %s",
+			indent, kind, l.Var, l.Line, l.Trip.Expr, l.IterCost.Expr, l.Variance)
+		if l.ChunkHint > 0 {
+			fmt.Printf(", chunk hint %d", l.ChunkHint)
+		}
+		fmt.Println()
+	}
+	if hint := f.LeafChunkHint(); hint > 0 {
+		fmt.Printf("  suggested initial chunk: %d (seeds the sweep below)\n", hint)
+	} else {
+		fmt.Println("  no chunk hint (leaf cost unknown or control-variant); AC starts at 1")
+	}
+	fmt.Println()
+}
+
+func describePurity(f *analysis.Facts) string {
+	if f.Pure {
+		return "pure"
+	}
+	return fmt.Sprintf("impure: writes %s", strings.Join(f.Effects.Writes, ", "))
 }
 
 func parseInts(csv string) []int64 {

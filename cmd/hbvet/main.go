@@ -9,24 +9,35 @@
 //	hbvet kernels                  # check every .hbk under the tree
 //	hbvet kernels/spmv.hbk         # check one file
 //	hbvet -werror kernels          # fail on warnings too
+//	hbvet -json kernels            # diagnostics as a JSON array
+//	hbvet -facts kernels/spmv.hbk  # emit the kernel's fact record as JSON
 //
-// Output is file:line: diagnostics. The exit status is 1 if any kernel has
-// errors (or, with -werror, warnings).
+// Output is file:line: diagnostics, sorted by position so runs are
+// byte-for-byte reproducible. The exit status is 1 if any kernel has errors
+// (or, with -werror, warnings).
+//
+// -facts switches hbvet from verifier to fact reporter: instead of
+// diagnostics it emits the full analysis fact record — purity/effects,
+// per-loop symbolic cost and chunk hints, and a bounds verdict for every
+// subscript — as JSON (one object for a single file, an array otherwise).
 //
 // Negative fixtures: a kernel containing `# expect: <rule>` marker comments
 // declares the diagnostics it is supposed to trigger. hbvet verifies the
-// analyzer reports exactly the marked rules on the marked lines, prints
-// them, and counts the file as passing — so a corpus can carry known-bad
-// kernels (kernels/bad/) that double as regression tests for the analyzer.
+// analyzer reports the marked rules on the marked lines (errors or
+// warnings), prints them, and counts the file as passing — so a corpus can
+// carry known-bad kernels (kernels/bad/) that double as regression tests
+// for the analyzer.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 
 	"hbc/internal/analysis"
@@ -35,12 +46,14 @@ import (
 
 func main() {
 	var (
-		quiet  = flag.Bool("q", false, "suppress warnings")
-		werror = flag.Bool("werror", false, "treat warnings as errors")
+		quiet    = flag.Bool("q", false, "suppress warnings")
+		werror   = flag.Bool("werror", false, "treat warnings as errors")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as JSON")
+		factsOut = flag.Bool("facts", false, "emit analysis fact records (purity, cost, bounds) as JSON instead of vetting")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hbvet [-q] [-werror] <kernel.hbk | dir>...")
+		fmt.Fprintln(os.Stderr, "usage: hbvet [-q] [-werror] [-json] [-facts] <kernel.hbk | dir>...")
 		os.Exit(2)
 	}
 
@@ -56,6 +69,14 @@ func main() {
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "hbvet: no .hbk files found")
 		os.Exit(2)
+	}
+	sort.Strings(files)
+
+	if *factsOut {
+		os.Exit(emitFacts(files))
+	}
+	if *jsonOut {
+		os.Exit(emitJSON(files, *werror))
 	}
 
 	var failed, expected, warnings int
@@ -83,6 +104,88 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// emitFacts prints the fact record of every file as JSON: a single object
+// for one file, an array for several. Facts are built even for kernels the
+// vetter rejects (BuildFacts never fails); only unreadable or unparseable
+// files are fatal.
+func emitFacts(files []string) int {
+	var records []*analysis.Facts
+	for _, f := range files {
+		k, err := parseKernel(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbvet:", err)
+			return 2
+		}
+		records = append(records, analysis.BuildFacts(f, k))
+	}
+	var out []byte
+	var err error
+	if len(records) == 1 {
+		out, err = records[0].JSON()
+	} else {
+		out, err = json.MarshalIndent(records, "", "  ")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbvet:", err)
+		return 2
+	}
+	fmt.Println(string(out))
+	return 0
+}
+
+// jsonDiag is the machine-readable diagnostic shape for -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col,omitempty"`
+	Severity string `json:"severity"`
+	Rule     string `json:"rule"`
+	Msg      string `json:"msg"`
+}
+
+// emitJSON prints every diagnostic across the files as one JSON array
+// (already position-sorted per file by the analyzer) and returns the exit
+// status: 1 when any error — or, with -werror, any warning — was reported.
+func emitJSON(files []string, werror bool) int {
+	diags := []jsonDiag{}
+	status := 0
+	for _, f := range files {
+		k, err := parseKernel(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbvet:", err)
+			return 2
+		}
+		for _, d := range analysis.Vet(f, k) {
+			sev := "warning"
+			if d.Severity == analysis.Err {
+				sev = "error"
+			}
+			if d.Severity == analysis.Err || werror {
+				status = 1
+			}
+			diags = append(diags, jsonDiag{
+				File: d.File, Line: d.Line, Col: d.Col,
+				Severity: sev, Rule: d.Rule, Msg: d.Msg,
+			})
+		}
+	}
+	out, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbvet:", err)
+		return 2
+	}
+	fmt.Println(string(out))
+	return status
+}
+
+func parseKernel(file string) (*frontend.Kernel, error) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	return frontend.ParseFile(file, string(src))
 }
 
 // collect expands a path argument into .hbk files (recursively for
@@ -166,9 +269,11 @@ func expectMarkers(src string) map[int]string {
 	return out
 }
 
-// checkExpected verifies a negative fixture: every marker must be hit by an
-// error with the marked rule on the marked line, and no unmarked errors may
-// appear.
+// checkExpected verifies a negative fixture: every marker must be hit by a
+// diagnostic — error or warning — with the marked rule on the marked line.
+// Unmarked errors fail the fixture; unmarked warnings are tolerated (they
+// were already printed by check). Missing markers are reported in line
+// order so fixture failures are deterministic.
 func checkExpected(file string, markers map[int]string, errs, warns []analysis.Diag) result {
 	ok := true
 	matched := map[int]bool{}
@@ -181,9 +286,19 @@ func checkExpected(file string, markers map[int]string, errs, warns []analysis.D
 		fmt.Printf("%s:%d: unexpected diagnostic [%s] in fixture\n", file, d.Line, d.Rule)
 		ok = false
 	}
-	for line, rule := range markers {
+	for _, d := range warns {
+		if rule, want := markers[d.Line]; want && rule == d.Rule {
+			matched[d.Line] = true
+		}
+	}
+	lines := make([]int, 0, len(markers))
+	for line := range markers {
+		lines = append(lines, line)
+	}
+	sort.Ints(lines)
+	for _, line := range lines {
 		if !matched[line] {
-			fmt.Printf("%s:%d: missing expected diagnostic [%s]\n", file, line, rule)
+			fmt.Printf("%s:%d: missing expected diagnostic [%s]\n", file, line, markers[line])
 			ok = false
 		}
 	}

@@ -404,6 +404,18 @@ type Config struct {
 	// TraceEvents records every promotion into a bounded event log readable
 	// via Runner.Events.
 	TraceEvents bool
+	// Facts attaches the static analyzer's fact record for the kernel this
+	// nest was lowered from (analysis.BuildFacts). The compiled Program
+	// caches it (Program.Facts) for downstream consumers — the serve
+	// layer's purity-gated memoization — and, unless InitialChunk is also
+	// set, the facts' leaf cost estimate seeds Adaptive Chunking's starting
+	// chunk so the first heartbeat window begins near the right granularity
+	// instead of at 1.
+	Facts *analysis.Facts
+	// InitialChunk explicitly seeds Adaptive Chunking's starting chunk
+	// size, overriding any facts-derived hint. 0 means "derive from Facts,
+	// else start at 1 (the paper's default)".
+	InitialChunk int64
 }
 
 func (c Config) coreOptions() core.Options {
@@ -412,9 +424,13 @@ func (c Config) coreOptions() core.Options {
 		LatchPollEvery:   c.LatchPollEvery,
 		TargetPolls:      c.TargetPolls,
 		WindowSize:       c.WindowSize,
+		InitialChunk:     c.InitialChunk,
 		DisablePromotion: c.DisablePromotion,
 		TraceChunks:      c.TraceChunks,
 		TraceEvents:      c.TraceEvents,
+	}
+	if o.InitialChunk == 0 && c.Facts != nil {
+		o.InitialChunk = c.Facts.LeafChunkHint()
 	}
 	if c.TPAL {
 		o.Mode = core.ModeTPAL
@@ -432,8 +448,14 @@ func (c Config) coreOptions() core.Options {
 
 // Program is a compiled loop nest ready to run on any Team.
 type Program struct {
-	p *core.Program
+	p     *core.Program
+	facts *analysis.Facts
 }
+
+// Facts returns the analysis fact record attached at compile time
+// (Config.Facts), or nil. Consumers gate behavior on it: the serve layer
+// memoizes results only for kernels whose facts prove purity.
+func (p *Program) Facts() *analysis.Facts { return p.facts }
 
 // Compile lowers a loop nest through the heartbeat middle-end: loop-slice
 // task generation, chunking insertion, leftover-task generation, and task
@@ -455,7 +477,7 @@ func Compile(nest *Nest, cfg Config) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{p: p}, nil
+	return &Program{p: p, facts: cfg.Facts}, nil
 }
 
 // MustCompile is Compile panicking on error, for statically-known nests.

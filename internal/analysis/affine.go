@@ -305,9 +305,24 @@ func pairDep(P *loopRec, w, x *access) (verdict, int64) {
 			}
 			return vConflict, 0
 		}
-		if innerVars == 0 {
-			// MIV-style GCD test on cw*p1 - cx*p2 = -dk.
-			if g := gcd64(cw, cx); g != 0 && dk%g != 0 {
+		// MIV: the subscript pair varies with P at different rates and
+		// possibly with free inner variables. Two tests join the suite:
+		//
+		// GCD — integer solutions to cw*p1 - cx*p2 + Σ ci*vi = -dk require
+		// gcd(cw, cx, ci...) | dk (outer/invariant terms cancelled above).
+		if g := gcd64(gcd64(cw, cx), innerGCD); g != 0 && dk%g != 0 {
+			return vIndependent, 0
+		}
+		// Banerjee bounds — evaluate the extreme values of
+		// cw*p1 - cx*p2 + inner over the iteration region; if -dk lies
+		// outside [min, max], the dependence equation has no solution at
+		// all (a fortiori none with p1 != p2) and the pair is independent.
+		// Requires every participating range to be statically known.
+		if P.known && !unknownInner && P.hi > P.lo {
+			r := contribution(cw, P.lo, P.hi)
+			r = r.add(contribution(-cx, P.lo, P.hi))
+			r = r.add(inner)
+			if -dk < r.lo || -dk > r.hi {
 				return vIndependent, 0
 			}
 		}

@@ -26,6 +26,7 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"hbc/internal/frontend"
 )
@@ -41,10 +42,12 @@ const (
 	Err
 )
 
-// Diag is one finding, addressable by file and line.
+// Diag is one finding, addressable by file, line, and (when the source
+// position carries one) column.
 type Diag struct {
 	File     string
 	Line     int
+	Col      int // 0 when the frontend has no column information
 	Rule     string
 	Severity Severity
 	Msg      string
@@ -58,6 +61,9 @@ func (d Diag) String() string {
 	pos := fmt.Sprintf("line %d", d.Line)
 	if d.File != "" {
 		pos = fmt.Sprintf("%s:%d", d.File, d.Line)
+	}
+	if d.Col > 0 {
+		pos = fmt.Sprintf("%s:%d", pos, d.Col)
 	}
 	return fmt.Sprintf("%s: %s: %s [%s]", pos, sev, d.Msg, d.Rule)
 }
@@ -152,6 +158,12 @@ type vetter struct {
 	written    map[string]bool
 	localForms map[string]*aff
 	seen       map[string]bool // diagnostic dedupe
+	// resolveDataset folds dataset scalars with statically known values
+	// (generator row counts, arrowhead's closed-form nnz) into constants.
+	// Off for Vet — diagnostics must not depend on generator internals —
+	// and on for the fact engine, which wants the tightest ranges it can
+	// prove. See datasetScalars.
+	resolveDataset bool
 }
 
 func (v *vetter) addf(sev Severity, line int, rule, format string, args ...any) {
@@ -187,38 +199,73 @@ func (v *vetter) parDepth() int {
 // diagnostics; pass "" for unnamed sources. If k carries a File (set by
 // frontend.ParseFile) and file is empty, the kernel's own name is used.
 func Vet(file string, k *frontend.Kernel) []Diag {
+	return runVet(file, k, false).diags
+}
+
+// runVet performs the full analysis walk and returns the vetter with its
+// collected state (accesses, loop records, symbol table) intact — the shared
+// substrate of Vet and the fact engine's passes.
+func runVet(file string, k *frontend.Kernel, resolveDataset bool) *vetter {
 	if file == "" {
 		file = k.File
 	}
 	v := &vetter{
-		file:       file,
-		syms:       map[string]symInfo{},
-		written:    map[string]bool{},
-		localForms: map[string]*aff{},
-		seen:       map[string]bool{},
+		file:           file,
+		syms:           map[string]symInfo{},
+		written:        map[string]bool{},
+		localForms:     map[string]*aff{},
+		seen:           map[string]bool{},
+		resolveDataset: resolveDataset,
 	}
 	for _, d := range k.Decls {
 		v.decl(d)
 	}
 	if k.Root == nil {
 		v.errf(1, RuleStructure, "kernel %s has no top-level loop", k.Name)
-		return v.diags
+		return v
 	}
 	if !k.Root.Parallel {
 		v.errf(k.Root.Line, RuleStructure, "the top-level loop must be `parallel for`")
 	}
+	// A top-level reduce implicitly declares the kernel's result
+	// accumulator: it is claimed by the root loop (+= only, never read),
+	// and its merged value is what Run returns.
+	if k.Root.Reduce != "" {
+		if _, dup := v.syms[k.Root.Reduce]; dup {
+			v.errf(k.Root.Line, RuleStructure, "%q shadows an existing name", k.Root.Reduce)
+		} else {
+			v.syms[k.Root.Reduce] = symInfo{kind: kAccClaimed}
+			defer delete(v.syms, k.Root.Reduce)
+		}
+	}
 	v.loop(k.Root)
 	v.dependences()
 	sortDiags(v.diags)
-	return v.diags
+	return v
 }
 
+// sortDiags orders diagnostics deterministically: file, line, column,
+// severity (errors first), rule, then message — so repeated runs and CI
+// diffs are stable regardless of pass ordering.
 func sortDiags(ds []Diag) {
 	sort.SliceStable(ds, func(i, j int) bool {
-		if ds[i].Line != ds[j].Line {
-			return ds[i].Line < ds[j].Line
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		return ds[i].Severity > ds[j].Severity
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 }
 
@@ -289,8 +336,17 @@ func (v *vetter) decl(d frontend.Decl) {
 		default:
 			v.errf(x.Line, RuleStructure, "unknown matrix generator %q", x.Gen)
 		}
-		v.declareName(x.Name+".rows", x.Line, symInfo{kind: kScalarSym})
-		v.declareName(x.Name+".nnz", x.Line, symInfo{kind: kScalarSym})
+		rows, nnz := v.datasetScalars(x)
+		if rows != nil {
+			v.declareName(x.Name+".rows", x.Line, symInfo{kind: kScalarConst, val: *rows})
+		} else {
+			v.declareName(x.Name+".rows", x.Line, symInfo{kind: kScalarSym})
+		}
+		if nnz != nil {
+			v.declareName(x.Name+".nnz", x.Line, symInfo{kind: kScalarConst, val: *nnz})
+		} else {
+			v.declareName(x.Name+".nnz", x.Line, symInfo{kind: kScalarSym})
+		}
 		v.declareName(x.Name+".rowPtr", x.Line, symInfo{kind: kIntArr})
 		v.declareName(x.Name+".colInd", x.Line, symInfo{kind: kIntArr})
 		v.declareName(x.Name+".val", x.Line, symInfo{kind: kFltArr})
@@ -301,6 +357,31 @@ func (v *vetter) decl(d frontend.Decl) {
 		}
 		v.declareName(x.Name, x.Line, symInfo{kind: kind})
 	}
+}
+
+// datasetScalars returns the statically known values of a matrix's .rows
+// and .nnz fields (nil = unknown), available only in resolveDataset mode.
+// Every generator takes its row count as the first argument; arrowhead
+// additionally has a closed-form nonzero count (a full first row and
+// column plus the diagonal: 3n-2). The other generators draw nonzeros from
+// a seeded RNG, so their nnz stays symbolic.
+func (v *vetter) datasetScalars(x *frontend.MatrixDecl) (rows, nnz *int64) {
+	if !v.resolveDataset || len(x.Args) == 0 {
+		return nil, nil
+	}
+	n, ok := v.constInt(x.Args[0])
+	if !ok || n < 0 {
+		return nil, nil
+	}
+	rows = &n
+	if x.Gen == "arrowhead" {
+		v := 3*n - 2
+		if n == 0 {
+			v = 0
+		}
+		nnz = &v
+	}
+	return rows, nnz
 }
 
 // --- loop structure -----------------------------------------------------------
@@ -631,7 +712,9 @@ func (v *vetter) recordAccess(x *frontend.IndexExpr, write bool) {
 // dependences runs the pairwise tests for every parallel loop over every
 // array that the kernel writes.
 func (v *vetter) dependences() {
-	// Non-affine subscripts on written arrays: one warning per access.
+	// Non-affine subscripts on written arrays: one warning per access,
+	// naming the enclosing loop-variable chain so the reader can see which
+	// iteration spaces the undecidable subscript ranges over.
 	for _, a := range v.accesses {
 		if a.form == nil && v.written[a.array] {
 			kind := "read"
@@ -639,8 +722,8 @@ func (v *vetter) dependences() {
 				kind = "write"
 			}
 			v.warnf(a.line, RuleNonAffine,
-				"cannot prove parallel iterations independent: %s of %s[%s] has a non-affine subscript",
-				kind, a.array, frontend.FormatExpr(a.sub))
+				"cannot prove parallel iterations independent: %s of %s[%s]%s has a non-affine subscript",
+				kind, a.array, frontend.FormatExpr(a.sub), loopChain(a.path))
 		}
 	}
 
@@ -671,6 +754,19 @@ func (v *vetter) dependences() {
 			}
 		}
 	}
+}
+
+// loopChain renders an access's enclosing loop variables, outermost first,
+// as " (in loop i, in loop j)" — empty for an access outside any loop.
+func loopChain(path []pathEnt) string {
+	if len(path) == 0 {
+		return ""
+	}
+	names := make([]string, len(path))
+	for i, ent := range path {
+		names[i] = ent.v
+	}
+	return fmt.Sprintf(" (in loop %s)", strings.Join(names, ", in loop "))
 }
 
 func onPath(a *access, P *loopRec) bool {

@@ -1,0 +1,162 @@
+package analysis
+
+// Bounds pass: for every array subscript, compare the reachable range of
+// its affine form against the array's declared extent. A proved access
+// needs no runtime bounds check — the interpreter's checked mode consults
+// these verdicts and skips the guard (frontend.CompileChecked) — and a
+// provably out-of-range access is reported before the kernel ever runs.
+//
+// The range of an affine form  sum c_v * v + k  over the iteration space
+// is the interval sum of each term's contribution: loop variables range
+// over their (statically known) bounds, and every other symbol must have
+// folded to a constant during the walk (dataset scalars with known values
+// do, in resolveDataset mode). One unknown term makes the verdict
+// "unknown" — never a false proof.
+
+import (
+	"fmt"
+	"sort"
+
+	"hbc/internal/frontend"
+)
+
+// extent is an array's declared element count: a known value or a rendered
+// symbolic expression.
+type extent struct {
+	expr  string
+	val   int64
+	known bool
+}
+
+// boundsPass runs the bounds pass over the accesses the walk collected.
+func (f *Facts) boundsPass(v *vetter, k *frontend.Kernel) {
+	exts := collectExtents(v, k)
+	seen := map[BoundsFact]bool{}
+	for _, a := range v.accesses {
+		b := BoundsFact{
+			Array:     a.array,
+			Subscript: frontend.FormatExpr(a.sub),
+			Line:      a.line,
+			Write:     a.write,
+		}
+		b.Verdict, b.Reason = verdictFor(v, a, exts)
+		if seen[b] {
+			continue // e.g. A.val[j] * A.val[j]: one fact per distinct access
+		}
+		seen[b] = true
+		f.Bounds = append(f.Bounds, b)
+	}
+	sort.SliceStable(f.Bounds, func(i, j int) bool {
+		a, b := f.Bounds[i], f.Bounds[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Array != b.Array {
+			return a.Array < b.Array
+		}
+		if a.Subscript != b.Subscript {
+			return a.Subscript < b.Subscript
+		}
+		return !a.Write && b.Write
+	})
+}
+
+// collectExtents maps every array name to its declared extent. Matrix
+// arrays have structural extents: rowPtr holds rows+1 entries, colInd and
+// val hold nnz each.
+func collectExtents(v *vetter, k *frontend.Kernel) map[string]extent {
+	exts := map[string]extent{}
+	for _, d := range k.Decls {
+		switch x := d.(type) {
+		case *frontend.ArrayDecl:
+			if n, ok := v.constInt(x.Len); ok {
+				exts[x.Name] = extent{expr: fmt.Sprintf("%d", n), val: n, known: true}
+			} else {
+				exts[x.Name] = extent{expr: frontend.FormatExpr(x.Len)}
+			}
+		case *frontend.MatrixDecl:
+			rows := extent{expr: x.Name + ".rows"}
+			if s, ok := v.syms[x.Name+".rows"]; ok && s.kind == kScalarConst {
+				rows = extent{expr: fmt.Sprintf("%d", s.val+1), val: s.val + 1, known: true}
+			} else {
+				rows.expr += " + 1"
+			}
+			exts[x.Name+".rowPtr"] = rows
+			nnz := extent{expr: x.Name + ".nnz"}
+			if s, ok := v.syms[x.Name+".nnz"]; ok && s.kind == kScalarConst {
+				nnz = extent{expr: fmt.Sprintf("%d", s.val), val: s.val, known: true}
+			}
+			exts[x.Name+".colInd"] = nnz
+			exts[x.Name+".val"] = nnz
+		}
+	}
+	return exts
+}
+
+// verdictFor decides one access against its array's extent.
+func verdictFor(v *vetter, a *access, exts map[string]extent) (string, string) {
+	if a.form == nil {
+		return BoundsUnknown, "non-affine subscript"
+	}
+	lo, hi, reason := subscriptRange(v, a)
+	if reason != "" {
+		return BoundsUnknown, reason
+	}
+	ext, ok := exts[a.array]
+	if !ok {
+		return BoundsUnknown, "array has no declared extent"
+	}
+	if !ext.known {
+		return BoundsUnknown, fmt.Sprintf("extent %s is symbolic", ext.expr)
+	}
+	switch {
+	case hi < 0 || lo >= ext.val:
+		return BoundsOut, fmt.Sprintf("subscript range [%d, %d] lies entirely outside [0, %d)", lo, hi, ext.val)
+	case lo >= 0 && hi < ext.val:
+		return BoundsProved, ""
+	case lo < 0:
+		return BoundsUnknown, fmt.Sprintf("subscript range [%d, %d] may go below 0", lo, hi)
+	default:
+		return BoundsUnknown, fmt.Sprintf("subscript range [%d, %d] may reach %d or beyond", lo, hi, ext.val)
+	}
+}
+
+// subscriptRange evaluates the inclusive range of a's affine form over its
+// loop context. A non-empty reason means the range could not be bounded.
+func subscriptRange(v *vetter, a *access) (lo, hi int64, reason string) {
+	lo, hi = a.form.K, a.form.K
+	// Deterministic term order for the first-failure reason.
+	terms := make([]string, 0, len(a.form.Terms))
+	for name := range a.form.Terms {
+		terms = append(terms, name)
+	}
+	sort.Strings(terms)
+	for _, name := range terms {
+		c := a.form.Terms[name]
+		if ent, ok := findPathEnt(a, name); ok {
+			if !ent.known {
+				return 0, 0, fmt.Sprintf("range of loop variable %s is not static", name)
+			}
+			if ent.hi <= ent.lo {
+				continue // zero-trip loop: the access never executes
+			}
+			iv := contribution(c, ent.lo, ent.hi)
+			lo += iv.lo
+			hi += iv.hi
+			continue
+		}
+		// Not a loop variable: a dataset scalar that stayed symbolic (known
+		// ones fold into K during affine lowering).
+		return 0, 0, fmt.Sprintf("value of %s is symbolic", name)
+	}
+	return lo, hi, ""
+}
+
+func findPathEnt(a *access, name string) (pathEnt, bool) {
+	for _, ent := range a.path {
+		if ent.v == name {
+			return ent, true
+		}
+	}
+	return pathEnt{}, false
+}

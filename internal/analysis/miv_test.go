@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Helpers to build accesses for direct pairDep tests. The parallel loop is
+// always "p"; an optional inner loop "j" nests inside it.
+
+func mkForm(terms map[string]int64, k int64) *aff {
+	t := map[string]int64{}
+	for v, c := range terms {
+		if c != 0 {
+			t[v] = c
+		}
+	}
+	return &aff{Terms: t, K: k}
+}
+
+func mkAccess(write bool, form *aff, path []pathEnt) *access {
+	return &access{array: "a", write: write, form: form, path: path}
+}
+
+var (
+	pEnt = pathEnt{v: "p", depth: 0, lo: 0, hi: 8, known: true}
+	jEnt = pathEnt{v: "j", depth: 1, lo: 0, hi: 3, known: true}
+)
+
+// bruteCollides enumerates the full iteration space: distinct parallel
+// iterations p1 != p2, each side's inner variables varying independently,
+// and reports whether the two subscripts can hit the same element.
+func bruteCollides(P *loopRec, w, x *access) bool {
+	evalSide := func(a *access, p int64, inner []int64) int64 {
+		s := a.form.K
+		i := 0
+		for _, ent := range a.path {
+			c := a.form.coeff(ent.v)
+			if ent.depth == P.depth {
+				s += c * p
+				continue
+			}
+			s += c * inner[i]
+			i++
+		}
+		return s
+	}
+	innerEnts := func(a *access) []pathEnt {
+		var out []pathEnt
+		for _, ent := range a.path {
+			if ent.depth != P.depth {
+				out = append(out, ent)
+			}
+		}
+		return out
+	}
+	// enumerate assigns every combination of inner values and calls f.
+	var enumerate func(ents []pathEnt, vals []int64, f func([]int64) bool) bool
+	enumerate = func(ents []pathEnt, vals []int64, f func([]int64) bool) bool {
+		if len(ents) == 0 {
+			return f(vals)
+		}
+		for v := ents[0].lo; v < ents[0].hi; v++ {
+			if enumerate(ents[1:], append(vals, v), f) {
+				return true
+			}
+		}
+		return false
+	}
+	wEnts, xEnts := innerEnts(w), innerEnts(x)
+	for p1 := P.lo; p1 < P.hi; p1++ {
+		for p2 := P.lo; p2 < P.hi; p2++ {
+			if p1 == p2 {
+				continue
+			}
+			hit := enumerate(wEnts, nil, func(wi []int64) bool {
+				sw := evalSide(w, p1, wi)
+				return enumerate(xEnts, nil, func(xi []int64) bool {
+					return sw == evalSide(x, p2, xi)
+				})
+			})
+			if hit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestMIVTable: table-driven positive and negative MIV cases — subscript
+// pairs whose coefficients on the parallel variable differ, exercising the
+// generalized GCD and the Banerjee bound test.
+func TestMIVTable(t *testing.T) {
+	P := &loopRec{v: "p", parallel: true, depth: 0, lo: 0, hi: 8, known: true}
+	pPath := []pathEnt{pEnt}
+	pjPath := []pathEnt{pEnt, jEnt}
+
+	cases := []struct {
+		name string
+		w, x *access
+		want verdict
+	}{
+		{
+			// 2p+4j vs 4p'+2j'+1: every term is even, the offset is odd —
+			// the generalized GCD test (gcd over both P coefficients and
+			// all inner coefficients) proves independence.
+			name: "gcd-parity",
+			w:    mkAccess(true, mkForm(map[string]int64{"p": 2, "j": 4}, 0), pjPath),
+			x:    mkAccess(false, mkForm(map[string]int64{"p": 4, "j": 2}, 1), pjPath),
+			want: vIndependent,
+		},
+		{
+			// 3p vs p'+100: ranges [0,21] and [100,107] never meet — only
+			// the Banerjee interval test sees it (gcd(3,1)=1 divides).
+			name: "banerjee-disjoint",
+			w:    mkAccess(true, mkForm(map[string]int64{"p": 3}, 0), pPath),
+			x:    mkAccess(false, mkForm(map[string]int64{"p": 1}, 100), pPath),
+			want: vIndependent,
+		},
+		{
+			// 4p+j vs 2p'+50: reachable difference tops out at 30 < 50.
+			name: "banerjee-with-inner",
+			w:    mkAccess(true, mkForm(map[string]int64{"p": 4, "j": 1}, 0), pjPath),
+			x:    mkAccess(false, mkForm(map[string]int64{"p": 2}, 50), pPath),
+			want: vIndependent,
+		},
+		{
+			// 2p+j vs p': p1=1,j=0 hits p2=2. Neither test may claim
+			// independence; without an exact MIV solver the verdict is maybe.
+			name: "miv-overlap",
+			w:    mkAccess(true, mkForm(map[string]int64{"p": 2, "j": 1}, 0), pjPath),
+			x:    mkAccess(false, mkForm(map[string]int64{"p": 1}, 0), pPath),
+			want: vMaybe,
+		},
+		{
+			// 2p vs 6p'+2: dk even, gcd passes; range [−46,14] ∋ −2 so
+			// Banerjee passes too — and indeed p1=4,p2=1 collides (8 = 8).
+			name: "miv-reachable",
+			w:    mkAccess(true, mkForm(map[string]int64{"p": 2}, 0), pPath),
+			x:    mkAccess(false, mkForm(map[string]int64{"p": 6}, 2), pPath),
+			want: vMaybe,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, _ := pairDep(P, tc.w, tc.x)
+			if got != tc.want {
+				t.Fatalf("pairDep = %v, want %v", got, tc.want)
+			}
+			// Cross-check against the ground truth on the same bounds.
+			collides := bruteCollides(P, tc.w, tc.x)
+			if got == vIndependent && collides {
+				t.Fatal("claimed independent but brute force found a collision")
+			}
+			if got != vIndependent && !collides && tc.want != vMaybe {
+				t.Fatal("claimed dependent but no collision exists")
+			}
+		})
+	}
+}
+
+// TestMIVBruteForceSoundness cross-checks pairDep against exhaustive
+// iteration-space enumeration on thousands of random small affine pairs:
+// whenever the analysis proves independence there must be no collision, and
+// whenever it proves a conflict there must be one.
+func TestMIVBruteForceSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6)) // deterministic corpus
+	P := &loopRec{v: "p", parallel: true, depth: 0, lo: 0, hi: 6, known: true}
+	jSmall := pathEnt{v: "j", depth: 1, lo: 0, hi: 3, known: true}
+
+	randForm := func() (*aff, []pathEnt) {
+		cp := rng.Int63n(7) - 3 // [-3, 3]
+		cj := rng.Int63n(7) - 3
+		k := rng.Int63n(11) - 5 // [-5, 5]
+		path := []pathEnt{pEnt}
+		path[0] = pathEnt{v: "p", depth: 0, lo: P.lo, hi: P.hi, known: true}
+		terms := map[string]int64{"p": cp}
+		if rng.Intn(2) == 0 {
+			terms["j"] = cj
+			path = append(path, jSmall)
+		}
+		return mkForm(terms, k), path
+	}
+
+	for i := 0; i < 5000; i++ {
+		wf, wp := randForm()
+		xf, xp := randForm()
+		w := mkAccess(true, wf, wp)
+		x := mkAccess(rng.Intn(2) == 0, xf, xp)
+		got, _ := pairDep(P, w, x)
+		collides := bruteCollides(P, w, x)
+		switch got {
+		case vIndependent:
+			if collides {
+				t.Fatalf("case %d: pairDep(%+v, %+v) = independent but iterations collide", i, wf, xf)
+			}
+		case vConflict:
+			if !collides {
+				t.Fatalf("case %d: pairDep(%+v, %+v) = conflict but no collision exists", i, wf, xf)
+			}
+		}
+	}
+}

@@ -31,6 +31,8 @@ import (
 // makes the isolation unconditional. polls is incremented on every
 // heartbeat poll — the hottest per-worker write in the runtime — so a
 // shared line here shows up directly in Fig. 7-style overhead measurements.
+//
+//hbc:padded
 type acWorker struct {
 	_ [64]byte // leading pad: isolate from the previous slot / slice header
 	// polls counts polling-function invocations since the last detected
@@ -53,7 +55,10 @@ func (a *acWorker) init(p *Program, o Options) {
 	a.polls = 0
 	a.chunk = make([]atomic.Int64, len(p.leaves))
 	for i := range a.chunk {
-		a.chunk[i].Store(1) // the paper's initial chunk size
+		// The paper starts at 1 and adapts upward; a static cost estimate
+		// (Options.InitialChunk, from the analysis facts) seeds the first
+		// window closer to the right granularity. withDefaults clamps it.
+		a.chunk[i].Store(o.InitialChunk)
 	}
 }
 

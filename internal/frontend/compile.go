@@ -13,6 +13,33 @@ type Compiled struct {
 	Kernel *Kernel
 	Nest   *loopnest.Nest
 	Env    *Env
+	// CheckedAccesses and ProvenAccesses count array subscripts compiled
+	// with and without a runtime range guard under Options.CheckBounds —
+	// the visible effect of the bounds-safety proofs (both zero in the
+	// default unchecked mode).
+	CheckedAccesses int
+	ProvenAccesses  int
+}
+
+// BoundsOracle exempts statically proven subscripts from runtime range
+// guards in checked mode. analysis.Facts implements it.
+type BoundsOracle interface {
+	ProvenInBounds(line int, array string) bool
+}
+
+// Options tunes kernel compilation. The zero value is the default build:
+// no runtime bounds guards (Go's own slice checks still apply, but panic
+// without kernel source positions).
+type Options struct {
+	// CheckBounds compiles every array subscript with an explicit range
+	// guard that panics with the kernel source position, array name, and
+	// offending index — instead of a bare Go index panic pointing into the
+	// interpreter.
+	CheckBounds bool
+	// Oracle, if set with CheckBounds, skips the guard on every access it
+	// proves in bounds, so proven subscripts run exactly as in the default
+	// mode.
+	Oracle BoundsOracle
 }
 
 // Env holds the kernel's data: scalars, arrays, and which arrays are
@@ -107,6 +134,9 @@ type compiler struct {
 	// levelSlots[k] is the frame slot holding the level-k parallel loop
 	// variable (serial vars and locals interleave, so slot != level).
 	levelSlots []int
+	opts       Options
+	// nChecked / nProven count guarded and guard-exempt subscripts.
+	nChecked, nProven int
 }
 
 func (c *compiler) errf(line int, format string, args ...any) error {
@@ -116,11 +146,15 @@ func (c *compiler) errf(line int, format string, args ...any) error {
 // Compile type-checks the kernel, materializes its environment (evaluating
 // let scalars and running dataset generators), and lowers the loop
 // structure to a loopnest.Nest.
-func Compile(k *Kernel) (*Compiled, error) {
+func Compile(k *Kernel) (*Compiled, error) { return CompileWith(k, Options{}) }
+
+// CompileWith is Compile with explicit Options.
+func CompileWith(k *Kernel, opts Options) (*Compiled, error) {
 	c := &compiler{
 		file: k.File,
 		env:  &Env{scalars: map[string]int64{}, intArr: map[string][]int64{}, fltArr: map[string][]float64{}},
 		syms: map[string]sym{},
+		opts: opts,
 	}
 	for _, d := range k.Decls {
 		if err := c.declare(d); err != nil {
@@ -130,6 +164,14 @@ func Compile(k *Kernel) (*Compiled, error) {
 	if k.Root == nil {
 		return nil, fmt.Errorf("frontend: kernel %s has no top-level loop", k.Name)
 	}
+	// A top-level reduce implicitly declares the kernel's result
+	// accumulator; its merged value is what Run returns.
+	if k.Root.Reduce != "" {
+		if _, dup := c.syms[k.Root.Reduce]; dup {
+			return nil, c.errf(k.Root.Line, "%q shadows an existing name", k.Root.Reduce)
+		}
+		c.syms[k.Root.Reduce] = sym{kind: symAcc}
+	}
 	root, err := c.loop(k.Root)
 	if err != nil {
 		return nil, err
@@ -138,7 +180,10 @@ func Compile(k *Kernel) (*Compiled, error) {
 	if err := nest.Validate(); err != nil {
 		return nil, err
 	}
-	return &Compiled{Kernel: k, Nest: nest, Env: c.env}, nil
+	return &Compiled{
+		Kernel: k, Nest: nest, Env: c.env,
+		CheckedAccesses: c.nChecked, ProvenAccesses: c.nProven,
+	}, nil
 }
 
 // constInt evaluates a header-level constant integer expression.

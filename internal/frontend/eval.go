@@ -75,8 +75,10 @@ func (c *compiler) expr(e Expr) (intFn, floatFn, bool, error) {
 		name := x.Array
 		switch s.kind {
 		case symIntArr:
+			idx = c.guardIdx(name, x.Line, false, idx)
 			return func(fr *frame) int64 { return fr.env.intArr[name][idx(fr)] }, nil, false, nil
 		case symFltArr:
+			idx = c.guardIdx(name, x.Line, true, idx)
 			return nil, func(fr *frame) float64 { return fr.env.fltArr[name][idx(fr)] }, true, nil
 		default:
 			return nil, nil, false, c.errf(x.Line, "%q is not an array", x.Array)
@@ -218,6 +220,34 @@ func (c *compiler) binExpr(x *BinExpr) (intFn, floatFn, bool, error) {
 	return nil, nil, false, c.errf(x.Line, "unknown operator %q", x.Op)
 }
 
+// guardIdx wraps a subscript closure with a range guard in checked mode.
+// An access the oracle proves in bounds keeps the raw closure — the proofs'
+// whole point — and the default (unchecked) build is untouched.
+func (c *compiler) guardIdx(name string, line int, float bool, idx intFn) intFn {
+	if !c.opts.CheckBounds {
+		return idx
+	}
+	if c.opts.Oracle != nil && c.opts.Oracle.ProvenInBounds(line, name) {
+		c.nProven++
+		return idx
+	}
+	c.nChecked++
+	file := c.file
+	return func(fr *frame) int64 {
+		i := idx(fr)
+		var n int
+		if float {
+			n = len(fr.env.fltArr[name])
+		} else {
+			n = len(fr.env.intArr[name])
+		}
+		if i < 0 || i >= int64(n) {
+			panic(fmt.Sprintf("%s: %s[%d] out of range [0, %d)", srcPos(file, line), name, i, n))
+		}
+		return i
+	}
+}
+
 // intExpr compiles an expression that must be integer-typed.
 func (c *compiler) intExpr(e Expr) (intFn, error) {
 	fi, _, isF, err := c.expr(e)
@@ -340,6 +370,7 @@ func (c *compiler) assign(x *AssignStmt) (stmtFn, error) {
 			return nil, err
 		}
 		name := x.Target
+		idx = c.guardIdx(name, x.Line, s.kind == symFltArr, idx)
 		switch s.kind {
 		case symFltArr:
 			val, err := c.numExpr(x.Value)

@@ -13,7 +13,13 @@ import (
 // (emitting syntax the lexer rejects, e.g. exponent-form floats) and parser
 // bugs (panics or stack overflow on adversarial input).
 func FuzzParse(f *testing.F) {
+	// Seed with the full shipped corpus: the clean kernels and the known-bad
+	// fixtures under kernels/bad/ (they parse fine — their defects are
+	// semantic, which makes them exactly the near-valid inputs fuzzing
+	// mutates best from).
 	files, _ := filepath.Glob(filepath.Join("..", "..", "kernels", "*.hbk"))
+	bad, _ := filepath.Glob(filepath.Join("..", "..", "kernels", "bad", "*.hbk"))
+	files = append(files, bad...)
 	for _, file := range files {
 		src, err := os.ReadFile(file)
 		if err != nil {

@@ -1,0 +1,181 @@
+// Package lint is a small, dependency-free analysis framework enforcing the
+// runtime's source-level invariants — the properties the code comments
+// promise but the compiler cannot check:
+//
+//   - functions marked //hbc:noalloc must not allocate (the spawn/join fast
+//     path's whole contract);
+//   - structs marked //hbc:padded must keep their leading and trailing
+//     cache-line pads (false-sharing isolation that a careless field
+//     addition silently destroys);
+//   - hbc.Runner.RunCtx must not be called from go-launched goroutines
+//     without serialization (one runner, one caller at a time).
+//
+// The framework is deliberately syntactic: analyzers work on go/ast with no
+// type information, trading a little precision for zero dependencies (the
+// go/analysis machinery lives outside the standard library). Findings a
+// human has vetted are suppressed in place:
+//
+//	//hbclint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and ignore
+	// directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports the analyzer's findings for one package.
+	Run func(p *Package) []Finding
+}
+
+// Package is one parsed package directory.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Dir   string
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{NoAlloc, StructPad, RunCtxSerial}
+}
+
+// Load parses every non-test .go file in dir (comments included — the
+// directives live there). Returns nil with no error when the directory
+// contains no Go files.
+func Load(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Fset: fset, Dir: dir}
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		files := make([]string, 0, len(pkgs[name].Files))
+		for fname := range pkgs[name].Files {
+			files = append(files, fname)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			p.Files = append(p.Files, pkgs[name].Files[fname])
+		}
+	}
+	if len(p.Files) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// Run executes the analyzers over the package, drops suppressed findings,
+// and returns the remainder sorted by position.
+func Run(p *Package, analyzers []*Analyzer) []Finding {
+	if p == nil {
+		return nil
+	}
+	ignores := collectIgnores(p)
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(p) {
+			if ignores.suppresses(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ignoreKey locates one //hbclint:ignore directive.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// suppresses reports whether an ignore directive covers the finding: same
+// analyzer, same file, on the finding's line or the line directly above.
+func (s ignoreSet) suppresses(f Finding) bool {
+	return s[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
+		s[ignoreKey{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]
+}
+
+func collectIgnores(p *Package) ignoreSet {
+	s := ignoreSet{}
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//hbclint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				s[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return s
+}
+
+// hasDirective reports whether a doc comment group contains the given
+// //-style directive (e.g. "//hbc:noalloc").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

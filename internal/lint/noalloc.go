@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NoAlloc enforces //hbc:noalloc: a function carrying the directive — and
+// every same-package function reachable from it by name — must contain no
+// construct that heap-allocates. The runtime's spawn/join fast path is
+// documented allocation-free (CI benchmarks pin allocs/op to 0); this
+// analyzer catches the regression at review time instead of in a benchmark
+// diff.
+//
+// Detected constructs: make, new, append, composite literals, function
+// literals, go statements, string conversions of byte/rune slices we cannot
+// see, and calls into allocation-heavy stdlib packages (fmt, errors, sort,
+// strings). Calls to same-package functions are followed transitively, so a
+// helper that allocates is reported even when the directive sits on its
+// caller; the finding points at the allocation site and names the call
+// chain.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions marked //hbc:noalloc (and their same-package callees) must not allocate",
+	Run:  runNoAlloc,
+}
+
+// allocDenylist names imported packages whose exported calls are assumed to
+// allocate. Conservative on purpose: the fast path has no business calling
+// any of these.
+var allocDenylist = map[string]bool{
+	"fmt":     true,
+	"errors":  true,
+	"sort":    true,
+	"strings": true,
+}
+
+func runNoAlloc(p *Package) []Finding {
+	// Index every function declaration by bare name. Methods share the
+	// namespace with package functions — without type information a call
+	// x.f() could be either, so the walk follows all same-name candidates.
+	// Over-approximating here only makes the analyzer stricter.
+	decls := map[string][]*ast.FuncDecl{}
+	imported := map[*ast.File]map[string]bool{}
+	fileOf := map[*ast.FuncDecl]*ast.File{}
+	var roots []*ast.FuncDecl
+	for _, file := range p.Files {
+		imports := map[string]bool{}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			name := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			imports[name] = true
+		}
+		imported[file] = imports
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls[fd.Name.Name] = append(decls[fd.Name.Name], fd)
+			fileOf[fd] = file
+			if hasDirective(fd.Doc, "//hbc:noalloc") {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	w := &noallocWalk{p: p, decls: decls, imported: imported, fileOf: fileOf}
+	for _, root := range roots {
+		w.visited = map[*ast.FuncDecl]bool{}
+		w.walk(root, root.Name.Name)
+	}
+	return w.findings
+}
+
+type noallocWalk struct {
+	p        *Package
+	decls    map[string][]*ast.FuncDecl
+	imported map[*ast.File]map[string]bool
+	fileOf   map[*ast.FuncDecl]*ast.File
+	visited  map[*ast.FuncDecl]bool
+	findings []Finding
+}
+
+// walk scans fn for allocation constructs and recurses into same-package
+// callees. chain is the call path from the annotated root, for the report.
+func (w *noallocWalk) walk(fn *ast.FuncDecl, chain string) {
+	if w.visited[fn] {
+		return
+	}
+	w.visited[fn] = true
+	imports := w.imported[w.fileOf[fn]]
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			w.call(x, chain, imports)
+		case *ast.CompositeLit:
+			// struct{}{} is zero-size and never hits the heap (channel
+			// signals use it); every other literal counts.
+			if st, ok := x.Type.(*ast.StructType); ok && len(st.Fields.List) == 0 {
+				return true
+			}
+			w.report(x.Pos(), chain, "composite literal allocates")
+		case *ast.FuncLit:
+			w.report(x.Pos(), chain, "function literal allocates its closure")
+			return false // the literal body runs later; judging it here would double-report
+		case *ast.GoStmt:
+			w.report(x.Pos(), chain, "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+func (w *noallocWalk) call(c *ast.CallExpr, chain string, imports map[string]bool) {
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make", "new", "append":
+			w.report(c.Pos(), chain, fmt.Sprintf("%s allocates", fun.Name))
+			return
+		}
+		w.follow(fun.Name, chain)
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok && imports[base.Name] {
+			if allocDenylist[base.Name] {
+				w.report(c.Pos(), chain, fmt.Sprintf("%s.%s allocates", base.Name, fun.Sel.Name))
+			}
+			return // other-package call: not followable, assumed vetted
+		}
+		w.follow(fun.Sel.Name, chain)
+	}
+}
+
+// follow recurses into every same-package function or method named name.
+func (w *noallocWalk) follow(name, chain string) {
+	for _, callee := range w.decls[name] {
+		w.walk(callee, chain+" → "+name)
+	}
+}
+
+func (w *noallocWalk) report(pos token.Pos, chain, what string) {
+	w.findings = append(w.findings, Finding{
+		Pos:      w.p.Fset.Position(pos),
+		Analyzer: "noalloc",
+		Message:  fmt.Sprintf("%s in //hbc:noalloc path %s", what, chain),
+	})
+}

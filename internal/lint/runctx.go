@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RunCtxSerial enforces the Runner.RunCtx serialization contract: a runner
+// serves one call at a time (per-invocation accumulator state, env reset),
+// so RunCtx must never be launched from multiple goroutines without an
+// external serializer. The analyzer flags RunCtx (and Run) calls that are
+// lexically inside a go-launched function literal, plus direct
+// `go x.RunCtx(...)` statements — the two shapes concurrent misuse actually
+// takes in this codebase. Serialized dispatchers (one goroutine per runner,
+// e.g. a shard loop calling a named method) do not trip it; a vetted
+// exception carries //hbclint:ignore runctx-serial.
+var RunCtxSerial = &Analyzer{
+	Name: "runctx-serial",
+	Doc:  "Runner.RunCtx must not be called from go-launched goroutines without serialization",
+	Run:  runRunCtxSerial,
+}
+
+func runRunCtxSerial(p *Package) []Finding {
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: "runctx-serial",
+			Message:  msg,
+		})
+	}
+	isRunCtx := func(c *ast.CallExpr) bool {
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		return ok && (sel.Sel.Name == "RunCtx" || sel.Sel.Name == "Run")
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if isRunCtx(g.Call) {
+				report(g, "go "+describeCall(g.Call)+": RunCtx launched concurrently; serialize through one owner goroutine")
+				return true
+			}
+			fl, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(fl.Body, func(inner ast.Node) bool {
+				c, ok := inner.(*ast.CallExpr)
+				if ok && isRunCtx(c) {
+					report(c, describeCall(c)+" inside a go-launched func literal; RunCtx is not safe for concurrent use — serialize through one owner goroutine")
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// describeCall renders a selector call like "r.RunCtx(...)" for the report.
+func describeCall(c *ast.CallExpr) string {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "call"
+	}
+	base := "…"
+	if id, ok := sel.X.(*ast.Ident); ok {
+		base = id.Name
+	}
+	return base + "." + sel.Sel.Name + "(...)"
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+)
+
+// StructPad enforces //hbc:padded: a struct carrying the directive must
+// keep a blank leading pad of at least one cache line (`_ [N]byte`, N ≥ 64)
+// as its first field and a blank trailing pad (any size — trailing pads are
+// sometimes sized to fill out a specific struct size) as its last. These
+// structs live in contiguous slices indexed per worker; the pads are the
+// only thing standing between a hot per-worker counter and false sharing
+// with its neighbor, and nothing but convention stops a new field from
+// landing outside them.
+var StructPad = &Analyzer{
+	Name: "structpad",
+	Doc:  "structs marked //hbc:padded must keep blank leading (≥64B) and trailing pad fields",
+	Run:  runStructPad,
+}
+
+func runStructPad(p *Package) []Finding {
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: "structpad",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				// The directive may sit on the type spec or, for a
+				// single-spec decl, on the decl itself.
+				if !hasDirective(ts.Doc, "//hbc:padded") && !hasDirective(gd.Doc, "//hbc:padded") {
+					continue
+				}
+				fields := st.Fields.List
+				if len(fields) < 3 {
+					report(ts, "%s: //hbc:padded struct needs pad fields around at least one payload field", ts.Name.Name)
+					continue
+				}
+				if n, ok := padBytes(fields[0]); !ok {
+					report(fields[0], "%s: first field must be a blank pad `_ [N]byte`", ts.Name.Name)
+				} else if n < 64 {
+					report(fields[0], "%s: leading pad is %d bytes, need at least 64 (one cache line)", ts.Name.Name, n)
+				}
+				if _, ok := padBytes(fields[len(fields)-1]); !ok {
+					report(fields[len(fields)-1], "%s: last field must be a blank pad `_ [N]byte`", ts.Name.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// padBytes recognizes a blank pad field `_ [N]byte` and returns N.
+func padBytes(f *ast.Field) (int64, bool) {
+	if len(f.Names) != 1 || f.Names[0].Name != "_" {
+		return 0, false
+	}
+	arr, ok := f.Type.(*ast.ArrayType)
+	if !ok {
+		return 0, false
+	}
+	elem, ok := arr.Elt.(*ast.Ident)
+	if !ok || elem.Name != "byte" {
+		return 0, false
+	}
+	lit, ok := arr.Len.(*ast.BasicLit)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

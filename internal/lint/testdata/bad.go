@@ -1,0 +1,67 @@
+// Package bad seeds one violation of every analyzer in the suite. The lint
+// self-test (and the CI fixtures step) asserts each one is reported — a
+// lint suite that silently stops firing is worse than none.
+package bad
+
+import "fmt"
+
+// fastPath is the seeded noalloc violation: a direct make, a denylisted
+// fmt call, and a transitive allocation through helper.
+//
+//hbc:noalloc
+func fastPath(n int) []int {
+	s := make([]int, n) // direct allocation
+	fmt.Println(len(s)) // denylisted package call
+	return helper(s)    // transitive: helper appends
+}
+
+func helper(s []int) []int {
+	return append(s, 1)
+}
+
+// suppressed proves //hbclint:ignore works: the test asserts this one does
+// NOT surface.
+//
+//hbc:noalloc
+func suppressed() *int {
+	//hbclint:ignore noalloc seeded suppression for the self-test
+	return new(int)
+}
+
+// thinPad is the seeded structpad violation: leading pad under a cache
+// line, and no trailing pad at all.
+//
+//hbc:padded
+type thinPad struct {
+	_    [8]byte
+	hits int64
+	miss int64
+}
+
+// goodPad must produce no finding.
+//
+//hbc:padded
+type goodPad struct {
+	_    [64]byte
+	hits int64
+	_    [64]byte
+}
+
+type runner struct{}
+
+func (runner) RunCtx(ctx any) (any, error) { return nil, nil }
+
+// misuse is the seeded runctx-serial violation: RunCtx launched from a
+// go-routine'd function literal.
+func misuse(r runner) {
+	go func() {
+		_, _ = r.RunCtx(nil)
+	}()
+	go r.RunCtx(nil)
+}
+
+var _ = fastPath
+var _ = suppressed
+var _ = misuse
+var _ thinPad
+var _ goodPad

@@ -16,6 +16,8 @@ import (
 // in the Worker struct, so counter writes never invalidate a line another
 // core is reading (the worker array, the deque pointer, a neighbor's
 // counters).
+//
+//hbc:padded
 type wcounters struct {
 	_         [64]byte
 	spawned   atomic.Int64 // tasks pushed via Spawn

@@ -137,6 +137,8 @@ func (l *Latch) Add(n int) {
 }
 
 // Done decrements the latch count, opening the latch at zero.
+//
+//hbc:noalloc
 func (l *Latch) Done() {
 	switch c := l.count.Add(-1); {
 	case c == 0:
@@ -418,11 +420,14 @@ func (w *Worker) getTask() *Task {
 		return t
 	}
 	w.c.taskMiss.Add(1)
+	//hbclint:ignore noalloc pool miss falls back to the heap by design, counted by taskMiss
 	return new(Task)
 }
 
 // putTask recycles an executed task. Owner goroutine of w only; the task
 // must not be referenced anywhere else (guaranteed by deque exclusivity).
+//
+//hbc:noalloc
 func (w *Worker) putTask(t *Task) {
 	if w.taskFreeN >= taskPoolCap {
 		return
@@ -451,6 +456,8 @@ func (w *Worker) NewLatch(n int) *Latch {
 // completed (the final Done's sentinel swap is its last access by any other
 // goroutine, so a completed latch has no concurrent users). Freeing a latch
 // that has not completed is refused rather than corrupting the pool.
+//
+//hbc:noalloc
 func (w *Worker) FreeLatch(l *Latch) {
 	if w.latchFreeN >= latchPoolCap || !l.Completed() {
 		return
@@ -466,6 +473,8 @@ func (w *Worker) FreeLatch(l *Latch) {
 // This is the promotion fast path: a pooled task, a push onto the owner's
 // deque, a per-worker counter bump, and a single load of the idle count. No
 // allocation, no channel operation, no shared-cacheline write.
+//
+//hbc:noalloc
 func (w *Worker) Spawn(l *Latch, fn func(w *Worker)) {
 	l.Add(1)
 	t := w.getTask()
@@ -482,6 +491,8 @@ func (w *Worker) Spawn(l *Latch, fn func(w *Worker)) {
 // the joined tasks suffered. This is the joining discipline of the runtime:
 // the promoting worker typically pops right back the tasks it just forked,
 // which is the clone-optimization fast path.
+//
+//hbc:noalloc
 func (w *Worker) HelpUntil(l *Latch) {
 	for !l.Completed() {
 		if t := w.next(); t != nil {
@@ -497,6 +508,8 @@ func (w *Worker) HelpUntil(l *Latch) {
 // external inbox. Deque work — the promoted slices already in flight — takes
 // priority over new external submissions, so a submission burst cannot
 // starve the tasks the heartbeat machinery is counting on being drained.
+//
+//hbc:noalloc
 func (w *Worker) next() *Task {
 	if t, ok := w.dq.PopBottom(); ok {
 		return t
@@ -553,6 +566,8 @@ func (w *Worker) nextRand() uint64 {
 // *before* the body runs: ownership is exclusive once popped or stolen, the
 // needed fields are extracted, and freeing first lets a body that spawns
 // reuse the very same object while it is hot in cache.
+//
+//hbc:noalloc
 func (w *Worker) execute(t *Task) {
 	w.c.execs.Add(1)
 	run, l := t.Run, t.Latch
@@ -561,6 +576,7 @@ func (w *Worker) execute(t *Task) {
 		run(w)
 		return
 	}
+	//hbclint:ignore noalloc open-coded defer; the closure captures only l and stays on the stack
 	defer func() {
 		if v := recover(); v != nil {
 			l.recordPanic(v)

@@ -1,0 +1,163 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hbc/internal/serve"
+)
+
+func memoPool(t *testing.T) *serve.Pool {
+	t.Helper()
+	return serve.NewPool(serve.Config{
+		Shards:          1,
+		WorkersPerShard: 2,
+		QueueDepth:      8,
+		DefaultDeadline: 10 * time.Second,
+	})
+}
+
+// TestMemoizePureKernel is the positive half of the purity gate: a kernel
+// whose facts prove purity may be memoized; the first request executes, the
+// second is served from the cache, and cached values do not alias callers.
+func TestMemoizePureKernel(t *testing.T) {
+	p := memoPool(t)
+	defer p.Close()
+	if err := p.Register("dotnorm", serve.KernelFile("../../kernels/dotnorm.hbk")); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := p.Memoize("dotnorm"); err != nil {
+		t.Fatalf("memoize pure kernel: %v", err)
+	}
+	p.Start()
+
+	ctx := context.Background()
+	first, err := p.Do(ctx, serve.Request{Kernel: "dotnorm", Tenant: "a"})
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if first.Memoized {
+		t.Fatalf("first request must execute, not hit an empty cache")
+	}
+	got := *first.Value.(*float64)
+	if got != 65536 {
+		t.Fatalf("dotnorm = %v, want 65536", got)
+	}
+
+	second, err := p.Do(ctx, serve.Request{Kernel: "dotnorm", Tenant: "b"})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !second.Memoized || second.Shard != -1 {
+		t.Fatalf("second request: memoized=%v shard=%d, want memoized from shard -1",
+			second.Memoized, second.Shard)
+	}
+	if v := *second.Value.(*float64); v != got {
+		t.Fatalf("memoized value %v != executed value %v", v, got)
+	}
+
+	// A caller scribbling on its result must not poison the cache.
+	*second.Value.(*float64) = -1
+	third, err := p.Do(ctx, serve.Request{Kernel: "dotnorm"})
+	if err != nil {
+		t.Fatalf("third run: %v", err)
+	}
+	if v := *third.Value.(*float64); v != got {
+		t.Fatalf("cache poisoned through aliased pointer: got %v, want %v", v, got)
+	}
+
+	if st := p.Stats(); st.MemoHits != 2 {
+		t.Fatalf("MemoHits = %d, want 2", st.MemoHits)
+	}
+}
+
+// TestMemoizeRefusesImpureKernel is the negative half: powersum writes the
+// rowsum array, its facts mark it impure, and Memoize must refuse — naming
+// the offending effect — while normal serving keeps working.
+func TestMemoizeRefusesImpureKernel(t *testing.T) {
+	p := memoPool(t)
+	defer p.Close()
+	if err := p.Register("powersum", serve.KernelFile("../../kernels/powersum.hbk")); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	err := p.Memoize("powersum")
+	if !errors.Is(err, serve.ErrNotMemoizable) {
+		t.Fatalf("Memoize(powersum) = %v, want ErrNotMemoizable", err)
+	}
+	if !strings.Contains(err.Error(), "rowsum") {
+		t.Fatalf("refusal should name the written array: %v", err)
+	}
+	p.Start()
+
+	res, err := p.Do(context.Background(), serve.Request{Kernel: "powersum"})
+	if err != nil {
+		t.Fatalf("impure kernel must still serve normally: %v", err)
+	}
+	if res.Memoized {
+		t.Fatalf("impure kernel result must not be memoized")
+	}
+	if st := p.Stats(); st.MemoHits != 0 {
+		t.Fatalf("MemoHits = %d, want 0", st.MemoHits)
+	}
+}
+
+// TestMemoizePureConfig covers the auto-enable path: with MemoizePure set,
+// Start memoizes every kernel whose facts prove purity and leaves the rest
+// alone, with no per-kernel calls.
+func TestMemoizePureConfig(t *testing.T) {
+	p := serve.NewPool(serve.Config{
+		Shards:          1,
+		WorkersPerShard: 2,
+		QueueDepth:      8,
+		DefaultDeadline: 10 * time.Second,
+		MemoizePure:     true,
+	})
+	defer p.Close()
+	if err := p.Register("dotnorm", serve.KernelFile("../../kernels/dotnorm.hbk")); err != nil {
+		t.Fatalf("register dotnorm: %v", err)
+	}
+	if err := p.Register("powersum", serve.KernelFile("../../kernels/powersum.hbk")); err != nil {
+		t.Fatalf("register powersum: %v", err)
+	}
+	p.Start()
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		res, err := p.Do(ctx, serve.Request{Kernel: "dotnorm"})
+		if err != nil {
+			t.Fatalf("dotnorm run %d: %v", i, err)
+		}
+		if want := i == 1; res.Memoized != want {
+			t.Fatalf("dotnorm run %d: memoized=%v, want %v", i, res.Memoized, want)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		res, err := p.Do(ctx, serve.Request{Kernel: "powersum"})
+		if err != nil {
+			t.Fatalf("powersum run %d: %v", i, err)
+		}
+		if res.Memoized {
+			t.Fatalf("powersum run %d must not be memoized", i)
+		}
+	}
+}
+
+// TestMemoizeErrors pins the misuse cases: unknown kernels, kernels without
+// facts, and calls after Start.
+func TestMemoizeErrors(t *testing.T) {
+	p := memoPool(t)
+	defer p.Close()
+	if err := p.Memoize("nope"); !errors.Is(err, serve.ErrUnknownKernel) {
+		t.Fatalf("Memoize(unknown) = %v, want ErrUnknownKernel", err)
+	}
+	if err := p.Register("dotnorm", serve.KernelFile("../../kernels/dotnorm.hbk")); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	p.Start()
+	if err := p.Memoize("dotnorm"); !errors.Is(err, serve.ErrStarted) {
+		t.Fatalf("Memoize after Start = %v, want ErrStarted", err)
+	}
+}

@@ -130,6 +130,8 @@ const DefaultEventsPerWorker = 1 << 12
 // mutex is uncontended except while Snapshot copies the lane out. Leading
 // and trailing pads keep the hot head fields of adjacent lanes (the slice
 // is contiguous) off each other's cache lines.
+//
+//hbc:padded
 type lane struct {
 	_   [64]byte
 	mu  sync.Mutex
