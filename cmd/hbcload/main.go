@@ -14,6 +14,18 @@
 // Requests spread across -tenants tenants round-robin (header X-Tenant) and
 // carry a per-request deadline (header X-Deadline-Ms).
 //
+// With -via-router the generator drives an hbcroute front tier instead of a
+// single backend: every request carries a client-minted X-Idempotency-Key
+// (so the router may retry it safely), and the summary adds what the router
+// did — which backends served the traffic (X-Hbc-Backend) and how many
+// responses were hedge winners (X-Hbc-Hedged).
+//
+// Closed-loop clients that are shed back off for a full-jitter sleep drawn
+// uniformly from (0, min(Retry-After, cap)] — honoring the hint's magnitude
+// without re-synchronizing every shed client into the next thundering herd.
+// Each such backoff counts as a retry in the summary and in the
+// retries_total field of BENCH_serve.json.
+//
 // Assertion flags turn the generator into a CI gate:
 //
 //	-require-shed               fail unless >= 1 request was shed (429) and
@@ -35,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -59,6 +72,9 @@ type results struct {
 	draining   int // 503
 	kernelErr  int // 500
 	other      int // transport and unexpected statuses
+	retries    int // client backoffs after a shed (closed loop)
+	hedged     int // responses marked X-Hbc-Hedged (router drives)
+	backends   map[string]int
 }
 
 func main() {
@@ -76,22 +92,36 @@ func main() {
 		reqShed  = flag.Bool("require-shed", false, "fail unless at least one request was shed with a retry hint")
 		maxViol  = flag.Int("max-deadline-violations", -1, "fail above this many deadline violations (-1 disables)")
 		minOK    = flag.Int("min-ok", 1, "fail unless at least this many requests succeeded")
+		viaRout  = flag.Bool("via-router", false, "drive an hbcroute front tier: mint idempotency keys, report per-backend routing and hedges")
+		seed     = flag.Int64("seed", 0, "backoff jitter seed (0 = time-seeded)")
 	)
 	flag.Parse()
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	jitter := &lockedRand{rng: rand.New(rand.NewSource(*seed))}
 
 	names, err := kernelList(*base, *kernels)
 	if err != nil {
 		fatal(err)
 	}
 	client := &http.Client{Timeout: *deadline + 10*time.Second}
-	res := &results{}
+	res := &results{backends: map[string]int{}}
 
+	runID := time.Now().UnixNano()
 	var reqSeq atomic.Int64
 	fire := func() reqOutcome {
 		i := reqSeq.Add(1) - 1
 		kernel := names[int(i)%len(names)]
 		tenant := fmt.Sprintf("tenant-%d", int(i)%*tenants)
-		o := oneRequest(client, *base, kernel, tenant, *deadline)
+		idem := ""
+		if *viaRout {
+			// A client-minted key makes the request provably replayable: the
+			// router may retry or hedge it across backends, and backend-side
+			// completed-run caches dedupe any same-backend replay.
+			idem = fmt.Sprintf("load-%d-%d", runID, i)
+		}
+		o := oneRequest(client, *base, kernel, tenant, idem, *deadline)
 		res.record(o, *deadline+*slack)
 		return o
 	}
@@ -127,7 +157,10 @@ func main() {
 					// A well-behaved closed-loop client honours the server's
 					// Retry-After hint (capped) instead of hammering a shard
 					// that just shed it; otherwise one saturated instant can
-					// burn the whole request budget on 429s.
+					// burn the whole request budget on 429s. The sleep is
+					// full-jitter — uniform over (0, hint] — because every
+					// shed client got the same hint at the same moment, and
+					// sleeping it exactly re-synchronizes the herd.
 					if o.status == http.StatusTooManyRequests {
 						back := o.retryAfter
 						if back <= 0 {
@@ -136,7 +169,8 @@ func main() {
 						if back > 250*time.Millisecond {
 							back = 250 * time.Millisecond
 						}
-						time.Sleep(back)
+						res.countRetry()
+						time.Sleep(time.Duration(jitter.Int63n(int64(back))) + 1)
 					}
 				}
 			}()
@@ -169,8 +203,15 @@ func main() {
 	qps := float64(res.ok) / elapsed.Seconds()
 
 	fmt.Printf("hbcload: %s loop against %s, kernels %v, %d tenant(s)\n", mode, *base, names, *tenants)
-	fmt.Printf("  %d ok (%.1f req/s), %d shed, %d deadline-expired, %d draining, %d kernel errors, %d other\n",
-		res.ok, qps, res.shed, res.timeouts, res.draining, res.kernelErr, res.other)
+	fmt.Printf("  %d ok (%.1f req/s), %d shed, %d retries, %d deadline-expired, %d draining, %d kernel errors, %d other\n",
+		res.ok, qps, res.shed, res.retries, res.timeouts, res.draining, res.kernelErr, res.other)
+	if *viaRout {
+		parts := make([]string, 0, len(res.backends))
+		for _, id := range sortedKeys(res.backends) {
+			parts = append(parts, fmt.Sprintf("%s:%d", id, res.backends[id]))
+		}
+		fmt.Printf("  via router: backends [%s], %d hedged win(s)\n", strings.Join(parts, " "), res.hedged)
+	}
 	fmt.Printf("  latency p50 %v  p90 %v  p99 %v  mean %v\n",
 		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 		q(0.99).Round(time.Microsecond), mean.Round(time.Microsecond))
@@ -190,6 +231,8 @@ func main() {
 					"p90_ms":              ms(q(0.90)),
 					"p99_ms":              ms(q(0.99)),
 					"shed":                float64(res.shed),
+					"retries_total":       float64(res.retries),
+					"hedged_total":        float64(res.hedged),
 					"deadline_expired":    float64(res.timeouts),
 					"deadline_violations": float64(res.violations),
 					"kernel_errors":       float64(res.kernelErr),
@@ -231,21 +274,47 @@ func main() {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+// lockedRand guards a rand.Rand for the concurrent closed-loop clients.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Int63n(n)
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 type reqOutcome struct {
 	status     int
 	latency    time.Duration
 	retryHint  bool
 	retryAfter time.Duration
+	backend    string // X-Hbc-Backend, set when driving through hbcroute
+	hedged     bool   // X-Hbc-Hedged
 	err        error
 }
 
-func oneRequest(client *http.Client, base, kernel, tenant string, deadline time.Duration) reqOutcome {
+func oneRequest(client *http.Client, base, kernel, tenant, idem string, deadline time.Duration) reqOutcome {
 	req, err := http.NewRequest(http.MethodPost, base+"/run/"+kernel, nil)
 	if err != nil {
 		return reqOutcome{err: err}
 	}
 	req.Header.Set("X-Tenant", tenant)
 	req.Header.Set("X-Deadline-Ms", strconv.FormatFloat(ms(deadline), 'f', -1, 64))
+	if idem != "" {
+		req.Header.Set("X-Idempotency-Key", idem)
+	}
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	lat := time.Since(t0)
@@ -261,7 +330,15 @@ func oneRequest(client *http.Client, base, kernel, tenant string, deadline time.
 			o.retryAfter = time.Duration(secs) * time.Second
 		}
 	}
+	o.backend = resp.Header.Get("X-Hbc-Backend")
+	o.hedged = resp.Header.Get("X-Hbc-Hedged") != ""
 	return o
+}
+
+func (r *results) countRetry() {
+	r.mu.Lock()
+	r.retries++
+	r.mu.Unlock()
 }
 
 func (r *results) record(o reqOutcome, budget time.Duration) {
@@ -275,6 +352,12 @@ func (r *results) record(o reqOutcome, budget time.Duration) {
 		r.latencies = append(r.latencies, o.latency)
 		if o.latency > budget {
 			r.violations++
+		}
+		if o.backend != "" {
+			r.backends[o.backend]++
+		}
+		if o.hedged {
+			r.hedged++
 		}
 	case o.status == http.StatusTooManyRequests:
 		r.shed++

@@ -1,0 +1,191 @@
+// Command hbcroute is the resilient front tier for a fleet of hbcserve
+// backends (internal/router): a consistent-hash reverse proxy with active
+// /readyz health checking, per-backend circuit breakers, idempotent retries
+// with capped jittered backoff, and tail-latency hedging.
+//
+// Usage:
+//
+//	hbcroute -backends b0=http://127.0.0.1:8077,b1=http://127.0.0.1:8078
+//	hbcroute -backends http://127.0.0.1:8077,http://127.0.0.1:8078   # ids auto-assigned
+//
+// API (everything not listed below is proxied to a backend):
+//
+//	POST /run/{kernel}   proxied with tenant affinity (X-Tenant), retries on
+//	                     shed/5xx for idempotent requests, hedged past the
+//	                     kernel's latency tail. The router assigns an
+//	                     X-Idempotency-Key when the client sent none, so
+//	                     retries never double-execute.
+//	GET  /healthz        router liveness: always 200 while the process runs
+//	GET  /readyz         200 while at least one backend is routable
+//	GET  /status         per-backend health/breaker/load JSON + transition log
+//	GET  /metrics        Prometheus text exposition (router + per-backend)
+//	GET  /vars           the same registry as expvar-style JSON
+//
+// On SIGINT/SIGTERM the router stops probing, finishes in-flight proxying,
+// and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hbc/internal/router"
+	"hbc/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8070", "listen address")
+		backends    = flag.String("backends", "", "comma-separated backends, id=url or bare url (required)")
+		loadFactor  = flag.Float64("load-factor", 1.25, "bounded-load factor c for the consistent-hash ring")
+		replicas    = flag.Int("replicas", 64, "virtual ring points per backend")
+		probeEvery  = flag.Duration("probe-interval", 250*time.Millisecond, "readyz probe period per backend")
+		failAfter   = flag.Int("eject-after", 2, "consecutive probe failures before ejecting a backend")
+		passAfter   = flag.Int("readmit-after", 2, "consecutive probe passes before readmitting")
+		maxAttempts = flag.Int("max-attempts", 3, "attempts per idempotent request, including the first")
+		retryBase   = flag.Duration("retry-base", 25*time.Millisecond, "base backoff between retries (full jitter)")
+		retryCap    = flag.Duration("retry-cap", time.Second, "backoff window cap (Retry-After hints may raise it)")
+		brkWindow   = flag.Duration("breaker-window", 10*time.Second, "circuit breaker failure-rate window")
+		brkMinReq   = flag.Int("breaker-min-requests", 5, "minimum windowed attempts before the breaker may open")
+		brkRate     = flag.Float64("breaker-failure-rate", 0.5, "windowed failure fraction that opens the breaker")
+		brkCooldown = flag.Duration("breaker-cooldown", time.Second, "first open->half-open cooldown (doubles per failed probe)")
+		brkMaxCool  = flag.Duration("breaker-max-cooldown", 30*time.Second, "cooldown escalation cap")
+		hedgeQ      = flag.Float64("hedge-quantile", 0.9, "per-kernel latency quantile that arms the hedge timer")
+		hedgeMax    = flag.Duration("hedge-max", 2*time.Second, "upper clamp on the hedge delay")
+		noHedge     = flag.Bool("no-hedge", false, "disable tail-latency hedging")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body byte limit (bodies are buffered for replay)")
+		seed        = flag.Int64("seed", 0, "backoff jitter seed (0 = time-seeded)")
+	)
+	flag.Parse()
+
+	fleet, err := parseBackends(*backends)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbcroute:", err)
+		os.Exit(2)
+	}
+
+	reg := telemetry.NewRegistry()
+	rt, err := router.New(router.Config{
+		Backends:   fleet,
+		LoadFactor: *loadFactor,
+		Replicas:   *replicas,
+		Health: router.HealthConfig{
+			Interval:  *probeEvery,
+			FailAfter: *failAfter,
+			PassAfter: *passAfter,
+			OnChange: func(id string, ready bool, reason string) {
+				verdict := "ejected"
+				if ready {
+					verdict = "readmitted"
+				}
+				fmt.Printf("hbcroute: backend %s %s: %s\n", id, verdict, reason)
+			},
+		},
+		Breaker: router.BreakerConfig{
+			Window:      *brkWindow,
+			MinRequests: *brkMinReq,
+			FailureRate: *brkRate,
+			Cooldown:    *brkCooldown,
+			MaxCooldown: *brkMaxCool,
+		},
+		MaxAttempts:    *maxAttempts,
+		RetryBase:      *retryBase,
+		RetryCap:       *retryCap,
+		HedgeQuantile:  *hedgeQ,
+		HedgeMax:       *hedgeMax,
+		DisableHedging: *noHedge,
+		MaxBody:        *maxBody,
+		Registry:       reg,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbcroute:", err)
+		os.Exit(2)
+	}
+	rt.Start()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !rt.Routable() {
+			http.Error(w, "no routable backend", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("GET /status", rt.StatusHandler())
+	telH := reg.Handler()
+	mux.Handle("GET /metrics", telH)
+	mux.Handle("GET /vars", telH)
+	mux.Handle("/", rt)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbcroute:", err)
+		os.Exit(2)
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	ids := make([]string, len(fleet))
+	for i, b := range fleet {
+		ids[i] = b.ID
+	}
+	fmt.Printf("hbcroute: serving on http://%s over backends %v\n", ln.Addr(), ids)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("hbcroute: %v — shutting down\n", s)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "hbcroute: server error:", err)
+		os.Exit(1)
+	}
+
+	rt.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "hbcroute: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("hbcroute: done")
+}
+
+// parseBackends parses the -backends flag: comma-separated entries, each
+// either "id=url" or a bare url (which gets the positional id "bN").
+func parseBackends(spec string) ([]router.Backend, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-backends is required (id=url,... or url,...)")
+	}
+	var out []router.Backend
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, found := strings.Cut(part, "=")
+		if !found {
+			id, url = fmt.Sprintf("b%d", i), part
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		out = append(out, router.Backend{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-backends parsed to an empty fleet from %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseBackends(t *testing.T) {
+	got, err := parseBackends("a=http://127.0.0.1:8077, b=127.0.0.1:8078 ,http://127.0.0.1:8079/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ id, url string }{
+		{"a", "http://127.0.0.1:8077"},
+		{"b", "http://127.0.0.1:8078"},  // scheme defaulted
+		{"b2", "http://127.0.0.1:8079"}, // positional id, trailing slash trimmed
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d backends, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].ID != w.id || got[i].URL != w.url {
+			t.Errorf("backend %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+}
+
+func TestParseBackendsRejectsEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ",,"} {
+		if _, err := parseBackends(spec); err == nil {
+			t.Errorf("parseBackends(%q) accepted an empty fleet", spec)
+		}
+	}
+}

@@ -12,13 +12,19 @@
 // API:
 //
 //	POST /run/{kernel}   run a kernel; headers: X-Tenant (fair-queuing key),
-//	                     X-Deadline-Ms (request deadline). 200 with a JSON
-//	                     body on success; 429 + Retry-After when shed; 503
+//	                     X-Deadline-Ms (request deadline), X-Idempotency-Key
+//	                     (dedupe retries against the completed-run cache).
+//	                     200 with a JSON body on success; 413 when the body
+//	                     exceeds -max-body; 429 + Retry-After when shed; 503
 //	                     while draining; 504 past deadline; 500 on a kernel
 //	                     panic (typed, contained to this request).
 //	GET  /kernels        list loaded kernels
-//	GET  /healthz        "ok" (200) or "draining" (503) — flips the moment
-//	                     a drain begins, before in-flight requests finish
+//	GET  /healthz        liveness: "ok" (200) or "draining" (503) — flips the
+//	                     moment a drain begins, before in-flight work finishes
+//	GET  /readyz         readiness: 200 only while the pool can usefully take
+//	                     another request; 503 with a reason once the admission
+//	                     queue is saturated or a drain has begun, so a router
+//	                     stops routing BEFORE requests are shed
 //	GET  /metrics        Prometheus text exposition (pool + every shard)
 //	GET  /vars           the same registry as expvar-style JSON
 //
@@ -36,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"net"
 	"net/http"
@@ -67,6 +74,7 @@ func main() {
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain; in-flight runs are cancelled past it")
 		finalSnap = flag.String("final-snapshot", "", "write the final post-drain registry snapshot (expvar JSON) to this file")
 		leakGrace = flag.Duration("leak-grace", 3*time.Second, "how long to wait for goroutines to settle before the leak check")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body byte limit; oversized POSTs get 413")
 	)
 	flag.Parse()
 
@@ -109,23 +117,7 @@ func main() {
 	fmt.Println()
 	pool.Start()
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /run/{kernel}", func(w http.ResponseWriter, r *http.Request) {
-		handleRun(pool, w, r)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if pool.Draining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /kernels", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"kernels": pool.Kernels()})
-	})
-	telH := reg.Handler()
-	mux.Handle("GET /metrics", telH)
-	mux.Handle("GET /vars", telH)
+	mux := newMux(pool, reg, *maxBody)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -220,6 +212,37 @@ func poolWorkers(workers, shards int) int {
 	return w
 }
 
+// newMux builds the server's route table. Split from main so the handler
+// behaviors (readiness split, body bounding, idempotency passthrough) are
+// testable with httptest against an in-process pool.
+func newMux(pool *serve.Pool, reg *telemetry.Registry, maxBody int64) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run/{kernel}", func(w http.ResponseWriter, r *http.Request) {
+		handleRun(pool, w, r, maxBody)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if pool.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if ok, reason := pool.Ready(); !ok {
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /kernels", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"kernels": pool.Kernels()})
+	})
+	telH := reg.Handler()
+	mux.Handle("GET /metrics", telH)
+	mux.Handle("GET /vars", telH)
+	return mux
+}
+
 // runResponse is the success body of POST /run/{kernel}.
 type runResponse struct {
 	Kernel   string  `json:"kernel"`
@@ -228,6 +251,7 @@ type runResponse struct {
 	QueuedMs float64 `json:"queued_ms"`
 	RunMs    float64 `json:"run_ms"`
 	Value    any     `json:"value,omitempty"`
+	Deduped  bool    `json:"deduped,omitempty"`
 }
 
 type errResponse struct {
@@ -235,7 +259,25 @@ type errResponse struct {
 	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
 }
 
-func handleRun(pool *serve.Pool, w http.ResponseWriter, r *http.Request) {
+func handleRun(pool *serve.Pool, w http.ResponseWriter, r *http.Request, maxBody int64) {
+	// Bound the body before anything else touches it. Today's run requests
+	// carry no payload the handler consumes, but the connection still
+	// transports whatever the client sent — without the cap an oversized
+	// POST is read in full (keep-alive drains the body on reuse). Past the
+	// cap MaxBytesReader poisons the connection and we answer 413.
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	if _, err := io.Copy(io.Discard, r.Body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errResponse{
+				Error: fmt.Sprintf("request body exceeds %d byte limit", tooBig.Limit),
+			})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "reading request body: " + err.Error()})
+		return
+	}
+
 	kernel := r.PathValue("kernel")
 	tenant := r.Header.Get("X-Tenant")
 	var deadline time.Duration
@@ -248,7 +290,12 @@ func handleRun(pool *serve.Pool, w http.ResponseWriter, r *http.Request) {
 		deadline = time.Duration(ms * float64(time.Millisecond))
 	}
 
-	res, err := pool.Do(r.Context(), serve.Request{Kernel: kernel, Tenant: tenant, Deadline: deadline})
+	res, err := pool.Do(r.Context(), serve.Request{
+		Kernel:   kernel,
+		Tenant:   tenant,
+		Deadline: deadline,
+		IdemKey:  r.Header.Get("X-Idempotency-Key"),
+	})
 	if err != nil {
 		var over *serve.ErrOverloaded
 		var pe *hbc.PanicError
@@ -285,6 +332,7 @@ func handleRun(pool *serve.Pool, w http.ResponseWriter, r *http.Request) {
 		QueuedMs: float64(res.Queued) / float64(time.Millisecond),
 		RunMs:    float64(res.Run) / float64(time.Millisecond),
 		Value:    res.Value,
+		Deduped:  res.Deduped,
 	})
 }
 

@@ -1,0 +1,285 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// lockedRand is a mutex-guarded rand.Rand: ServeHTTP draws jitter
+// concurrently, and rand.Rand is not safe for concurrent use.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Int63n(n)
+}
+
+// NetFaultPlan schedules network-level faults into a NetProxy. Like the
+// package's other plans it is deterministic: faults fire on fixed request
+// ordinals ("every Nth request"), and the only randomness — latency jitter —
+// is drawn from the plan's seed, so a failing soak reproduces from its
+// printed plan.
+//
+// Ordinal counters are independent per fault family, checked in the order
+// reset → stall → inject-5xx → short-body; at most one non-latency fault
+// fires per request (the first whose ordinal matches), so a plan combining
+// families degrades different requests rather than stacking every fault on
+// the unlucky Nth.
+type NetFaultPlan struct {
+	// Seed drives the latency jitter (0 is a valid fixed seed).
+	Seed int64
+	// Latency is added to every proxied request before it is forwarded;
+	// Jitter adds a uniform extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// StallEvery > 0 stalls every Nth request for StallFor before touching
+	// the upstream — a sated-but-silent network path. The stall respects the
+	// client's context, so a canceled hedge loser unblocks immediately.
+	StallEvery int64
+	StallFor   time.Duration
+	// ResetEvery > 0 kills every Nth request's connection without an HTTP
+	// response (TCP RST where the platform allows SetLinger(0)).
+	ResetEvery int64
+	// Inject5xxEvery > 0 answers every Nth request with a synthesized
+	// Inject5xxStatus (default 503) that never reaches the upstream.
+	Inject5xxEvery  int64
+	Inject5xxStatus int
+	// ShortBodyEvery > 0 truncates every Nth successful upstream response
+	// halfway through its body while still declaring the full
+	// Content-Length, so the client sees an unexpected EOF mid-body.
+	ShortBodyEvery int64
+}
+
+// NetProxyStats counts what a NetProxy did, for asserting chaos coverage.
+type NetProxyStats struct {
+	Requests    int64
+	Forwarded   int64
+	Stalls      int64
+	Resets      int64
+	Injected5xx int64
+	ShortBodies int64
+}
+
+// NetProxy is an HTTP fault-injection proxy in front of one upstream: the
+// network leg of the chaos suite. Where PanicPlan and SourcePlan attack the
+// runtime from inside, NetProxy attacks the serving tier from outside — the
+// faults a router's retry/hedge/breaker stack must absorb: added latency,
+// stalls, connection resets, bogus 5xx, and truncated response bodies.
+type NetProxy struct {
+	plan     NetFaultPlan
+	upstream *url.URL
+	client   *http.Client
+
+	mu    sync.Mutex
+	rng   *lockedRand
+	seq   int64
+	stats NetProxyStats
+}
+
+// NewNetProxy builds a proxy forwarding to upstream (a base URL such as
+// "http://127.0.0.1:8077"). Serve it with net/http; Stats reports what fired.
+func NewNetProxy(upstream string, plan NetFaultPlan) (*NetProxy, error) {
+	u, err := url.Parse(upstream)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: upstream %q: %w", upstream, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("chaos: upstream %q needs scheme and host", upstream)
+	}
+	if plan.Inject5xxStatus == 0 {
+		plan.Inject5xxStatus = http.StatusServiceUnavailable
+	}
+	return &NetProxy{
+		plan:     plan,
+		upstream: u,
+		// Each proxied attempt uses its own connection semantics; disable
+		// keep-alive so a reset on one faulted request cannot poison an
+		// unrelated pooled connection.
+		client: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		rng:    newLockedRand(plan.Seed),
+	}, nil
+}
+
+// Stats returns a copy of the fault counters.
+func (p *NetProxy) Stats() NetProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// nextFault claims the next request ordinal and decides its fault, bumping
+// the matching counter under the lock.
+type netFault int
+
+const (
+	faultNone netFault = iota
+	faultReset
+	faultStall
+	fault5xx
+	faultShortBody
+)
+
+func (p *NetProxy) nextFault() netFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	p.stats.Requests++
+	switch {
+	case p.plan.ResetEvery > 0 && p.seq%p.plan.ResetEvery == 0:
+		p.stats.Resets++
+		return faultReset
+	case p.plan.StallEvery > 0 && p.seq%p.plan.StallEvery == 0:
+		p.stats.Stalls++
+		return faultStall
+	case p.plan.Inject5xxEvery > 0 && p.seq%p.plan.Inject5xxEvery == 0:
+		p.stats.Injected5xx++
+		return fault5xx
+	case p.plan.ShortBodyEvery > 0 && p.seq%p.plan.ShortBodyEvery == 0:
+		p.stats.ShortBodies++
+		return faultShortBody
+	}
+	return faultNone
+}
+
+// delay returns this request's added latency (base + seeded jitter).
+func (p *NetProxy) delay() time.Duration {
+	d := p.plan.Latency
+	if p.plan.Jitter > 0 {
+		d += time.Duration(p.rng.Int63n(int64(p.plan.Jitter)))
+	}
+	return d
+}
+
+// sleep waits for d unless ctx ends first; reports whether it completed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (p *NetProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fault := p.nextFault()
+
+	if !sleep(r.Context(), p.delay()) {
+		return // client gone during injected latency
+	}
+
+	switch fault {
+	case faultReset:
+		p.reset(w)
+		return
+	case fault5xx:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "chaos: injected fault", p.plan.Inject5xxStatus)
+		return
+	case faultStall:
+		if !sleep(r.Context(), p.plan.StallFor) {
+			return
+		}
+	}
+
+	// Forward to the upstream, streaming the request body through.
+	target := *r.URL
+	target.Scheme = p.upstream.Scheme
+	target.Host = p.upstream.Host
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), r.Body)
+	if err != nil {
+		http.Error(w, "chaos proxy: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		// Upstream unreachable: surface as a gateway error unless the client
+		// already hung up.
+		if r.Context().Err() == nil {
+			http.Error(w, "chaos proxy upstream: "+err.Error(), http.StatusBadGateway)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, "chaos proxy upstream body: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	p.mu.Lock()
+	p.stats.Forwarded++
+	p.mu.Unlock()
+
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if fault == faultShortBody && resp.StatusCode < 300 && len(body) > 1 {
+		// Declare the full length, deliver half: the server closes the
+		// connection under-length and the client reads an unexpected EOF.
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		p.hardClose(w)
+		return
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// reset kills the client connection without an HTTP response. With a TCP
+// conn SetLinger(0) turns the close into an RST ("connection reset by
+// peer"); other transports just see an abrupt EOF before any status line.
+func (p *NetProxy) reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// No hijack support (e.g. httptest.ResponseRecorder): degrade to an
+		// empty 502 so the fault is still visible.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = conn.Close()
+}
+
+// hardClose terminates the connection after a short write so the truncation
+// is immediate rather than waiting on keep-alive teardown.
+func (p *NetProxy) hardClose(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			_ = conn.Close()
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newEchoUpstream serves a fixed body and echoes request headers back.
+func newEchoUpstream(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Echo-Tenant", r.Header.Get("X-Tenant"))
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func newProxyServer(t *testing.T, upstream string, plan NetFaultPlan) (*NetProxy, *httptest.Server) {
+	t.Helper()
+	p, err := NewNetProxy(upstream, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func noKeepAliveClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+}
+
+func TestNetProxyForwardsCleanly(t *testing.T) {
+	up := newEchoUpstream(t, `{"ok":true}`)
+	p, srv := newProxyServer(t, up.URL, NetFaultPlan{})
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/run/saxpy", strings.NewReader("{}"))
+	req.Header.Set("X-Tenant", "t0")
+	resp, err := noKeepAliveClient().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != `{"ok":true}` {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Echo-Tenant") != "t0" {
+		t.Fatal("request headers were not forwarded")
+	}
+	s := p.Stats()
+	if s.Requests != 1 || s.Forwarded != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNetProxyAddsLatency(t *testing.T) {
+	up := newEchoUpstream(t, "ok")
+	_, srv := newProxyServer(t, up.URL, NetFaultPlan{Latency: 50 * time.Millisecond})
+
+	t0 := time.Now()
+	resp, err := noKeepAliveClient().Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("request completed in %v, want >= 50ms injected latency", d)
+	}
+}
+
+func TestNetProxyInjects5xxEveryNth(t *testing.T) {
+	up := newEchoUpstream(t, "ok")
+	p, srv := newProxyServer(t, up.URL, NetFaultPlan{Inject5xxEvery: 3})
+
+	var codes []int
+	client := noKeepAliveClient()
+	for i := 0; i < 6; i++ {
+		resp, err := client.Get(srv.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{200, 200, 503, 200, 200, 503}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v (deterministic every-3rd injection)", codes, want)
+		}
+	}
+	if s := p.Stats(); s.Injected5xx != 2 || s.Forwarded != 4 {
+		t.Fatalf("stats = %+v, want 2 injected / 4 forwarded", s)
+	}
+}
+
+func TestNetProxyResetsConnection(t *testing.T) {
+	up := newEchoUpstream(t, "ok")
+	p, srv := newProxyServer(t, up.URL, NetFaultPlan{ResetEvery: 2})
+	client := noKeepAliveClient()
+
+	// First request passes.
+	resp, err := client.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Second dies without an HTTP response: a transport-level error.
+	resp, err = client.Get(srv.URL + "/x")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("reset request got status %d, want a connection error", resp.StatusCode)
+	}
+	if s := p.Stats(); s.Resets != 1 {
+		t.Fatalf("stats = %+v, want 1 reset", s)
+	}
+}
+
+func TestNetProxyTruncatesBody(t *testing.T) {
+	up := newEchoUpstream(t, strings.Repeat("x", 4096))
+	p, srv := newProxyServer(t, up.URL, NetFaultPlan{ShortBodyEvery: 1})
+	resp, err := noKeepAliveClient().Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err) // status line + headers must still arrive
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read full %d-byte body, want an unexpected EOF mid-body", len(body))
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "EOF") &&
+		!strings.Contains(err.Error(), "reset") {
+		t.Fatalf("body read error = %v, want a truncation-style error", err)
+	}
+	if len(body) >= 4096 {
+		t.Fatalf("received %d bytes despite truncation", len(body))
+	}
+	if s := p.Stats(); s.ShortBodies != 1 {
+		t.Fatalf("stats = %+v, want 1 short body", s)
+	}
+}
+
+func TestNetProxyStallRespectsClientTimeout(t *testing.T) {
+	up := newEchoUpstream(t, "ok")
+	p, srv := newProxyServer(t, up.URL, NetFaultPlan{StallEvery: 1, StallFor: time.Minute})
+	client := &http.Client{
+		Timeout:   50 * time.Millisecond,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	t0 := time.Now()
+	_, err := client.Get(srv.URL + "/x")
+	if err == nil {
+		t.Fatal("stalled request completed")
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("stall held the client %v past its 50ms timeout", d)
+	}
+	if s := p.Stats(); s.Stalls != 1 {
+		t.Fatalf("stats = %+v, want 1 stall", s)
+	}
+}
+
+func TestNetProxyAtMostOneFaultPerRequest(t *testing.T) {
+	// Every ordinal matches every family; precedence must pick exactly one.
+	up := newEchoUpstream(t, "ok")
+	p, _ := newProxyServer(t, up.URL, NetFaultPlan{
+		ResetEvery: 1, StallEvery: 1, Inject5xxEvery: 1, ShortBodyEvery: 1,
+	})
+	for i := 0; i < 5; i++ {
+		if f := p.nextFault(); f != faultReset {
+			t.Fatalf("fault %d = %v, want reset (first in precedence)", i, f)
+		}
+	}
+	s := p.Stats()
+	if s.Resets != 5 || s.Stalls != 0 || s.Injected5xx != 0 || s.ShortBodies != 0 {
+		t.Fatalf("stats = %+v, want only resets", s)
+	}
+}
+
+func TestNetProxyRejectsBadUpstream(t *testing.T) {
+	for _, u := range []string{"", "not a url at all\x7f", "127.0.0.1:8077"} {
+		if _, err := NewNetProxy(u, NetFaultPlan{}); err == nil {
+			t.Errorf("NewNetProxy(%q) accepted an invalid upstream", u)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// StateClosed passes traffic and watches the windowed failure rate.
+	StateClosed BreakerState = iota
+	// StateOpen rejects traffic until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen admits exactly one in-flight probe; its outcome decides
+	// between closing and reopening with a longer cooldown.
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// Outcome classifies one completed attempt for the breaker's accounting.
+type Outcome int
+
+const (
+	// Success: the backend answered usefully.
+	Success Outcome = iota
+	// Failure: transport error or gateway-class failure attributable to the
+	// backend.
+	Failure
+	// Canceled: the attempt was abandoned by the caller — a hedged request
+	// whose twin won, or a client disconnect. Says nothing about backend
+	// health, so it is not counted in the failure window and a canceled
+	// half-open probe re-arms the probe slot instead of deciding the state.
+	Canceled
+)
+
+// BreakerConfig parameterizes a Breaker. Zero values select the documented
+// defaults.
+type BreakerConfig struct {
+	// Window is the sliding failure-rate window (default 10s), tracked in
+	// Buckets rotating buckets (default 10).
+	Window  time.Duration
+	Buckets int
+	// MinRequests gates the rate check: fewer completed attempts than this
+	// in the window never opens the breaker (default 5).
+	MinRequests int
+	// FailureRate opens the breaker when the windowed failure fraction
+	// reaches it (default 0.5).
+	FailureRate float64
+	// Cooldown is the first open→half-open delay (default 1s); each
+	// half-open probe failure doubles it up to MaxCooldown (default 30s),
+	// and a successful close resets it.
+	Cooldown    time.Duration
+	MaxCooldown time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+	// OnTransition, if set, observes every state change. reason names the
+	// trigger ("failure rate 0.60 >= 0.50", "cooldown elapsed", "probe
+	// failed", "probe succeeded"). Called without the breaker lock held.
+	OnTransition func(from, to BreakerState, reason string)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 5
+	}
+	if c.FailureRate <= 0 || c.FailureRate > 1 {
+		c.FailureRate = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+type breakerBucket struct {
+	start            time.Time
+	success, failure int64
+}
+
+// Breaker is a per-backend circuit breaker over a windowed failure rate.
+//
+//	closed --[rate >= FailureRate over >= MinRequests]--> open
+//	open --[cooldown elapsed, next Allow]--> half-open (that Allow is the probe)
+//	half-open --[probe success]--> closed (cooldown resets)
+//	half-open --[probe failure]--> open (cooldown doubles, capped)
+//
+// Half-open probes are single-flight: concurrent Allow calls during a probe
+// are rejected, so a recovering backend sees one request, not a stampede. A
+// canceled probe (hedge loser) releases the probe slot without deciding the
+// state.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	buckets  []breakerBucket
+	openedAt time.Time
+	cooldown time.Duration
+	probing  bool
+
+	opens, closes int64 // lifetime transition counts
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:      cfg,
+		buckets:  make([]breakerBucket, cfg.Buckets),
+		cooldown: cfg.Cooldown,
+	}
+}
+
+// bucketFor rotates the ring to now and returns the live bucket. Callers
+// hold b.mu.
+func (b *Breaker) bucketFor(now time.Time) *breakerBucket {
+	span := b.cfg.Window / time.Duration(len(b.buckets))
+	idx := int((now.UnixNano() / int64(span)) % int64(len(b.buckets)))
+	bk := &b.buckets[idx]
+	if now.Sub(bk.start) >= span {
+		bk.start = now.Truncate(span)
+		bk.success, bk.failure = 0, 0
+	}
+	return bk
+}
+
+// windowCounts sums the unexpired buckets. Callers hold b.mu.
+func (b *Breaker) windowCounts(now time.Time) (success, failure int64) {
+	for i := range b.buckets {
+		if now.Sub(b.buckets[i].start) < b.cfg.Window {
+			success += b.buckets[i].success
+			failure += b.buckets[i].failure
+		}
+	}
+	return
+}
+
+// Allow reports whether an attempt may be sent through this breaker right
+// now. probe is true when the admitted attempt is the half-open probe: its
+// outcome decides the breaker's fate, and the caller must Record it with the
+// same probe flag.
+func (b *Breaker) Allow() (ok, probe bool) {
+	now := b.cfg.Clock()
+	b.mu.Lock()
+	switch b.state {
+	case StateClosed:
+		b.mu.Unlock()
+		return true, false
+	case StateOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
+			return false, false
+		}
+		// Claim the probe slot before the transition callback can release the
+		// lock, so a concurrent Allow cannot sneak in a second probe.
+		b.probing = true
+		b.setStateLocked(StateHalfOpen, "cooldown elapsed")
+		b.mu.Unlock()
+		return true, true
+	default: // StateHalfOpen
+		if b.probing {
+			b.mu.Unlock()
+			return false, false
+		}
+		b.probing = true
+		b.mu.Unlock()
+		return true, true
+	}
+}
+
+// Record accounts one completed attempt previously admitted by Allow, with
+// the probe flag Allow returned for it.
+func (b *Breaker) Record(o Outcome, probe bool) {
+	now := b.cfg.Clock()
+	b.mu.Lock()
+	switch o {
+	case Canceled:
+		// Not evidence either way. A canceled probe re-arms the slot so the
+		// next Allow probes again.
+		if probe && b.state == StateHalfOpen {
+			b.probing = false
+		}
+		b.mu.Unlock()
+		return
+	case Success:
+		b.bucketFor(now).success++
+		if probe && b.state == StateHalfOpen {
+			b.probing = false
+			b.cooldown = b.cfg.Cooldown
+			b.resetWindowLocked()
+			b.setStateLocked(StateClosed, "probe succeeded")
+		}
+	case Failure:
+		b.bucketFor(now).failure++
+		switch {
+		case probe && b.state == StateHalfOpen:
+			b.probing = false
+			b.cooldown *= 2
+			if b.cooldown > b.cfg.MaxCooldown {
+				b.cooldown = b.cfg.MaxCooldown
+			}
+			b.openedAt = now
+			b.setStateLocked(StateOpen, "probe failed")
+		case b.state == StateClosed:
+			s, f := b.windowCounts(now)
+			if s+f >= int64(b.cfg.MinRequests) {
+				rate := float64(f) / float64(s+f)
+				if rate >= b.cfg.FailureRate {
+					b.openedAt = now
+					b.setStateLocked(StateOpen,
+						fmt.Sprintf("failure rate %.2f >= %.2f (%d/%d)", rate, b.cfg.FailureRate, f, s+f))
+				}
+			}
+		}
+	}
+	b.mu.Unlock()
+}
+
+// resetWindowLocked clears the failure window — a freshly closed breaker
+// starts from a clean slate rather than reopening on stale failures.
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.buckets {
+		b.buckets[i] = breakerBucket{}
+	}
+}
+
+// setStateLocked transitions and notifies. b.mu is held; the callback runs
+// after unlocking would risk reordered notifications, so it is invoked
+// synchronously on a copy of the values with the lock dropped around it.
+func (b *Breaker) setStateLocked(to BreakerState, reason string) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case StateOpen:
+		b.opens++
+	case StateClosed:
+		b.closes++
+	}
+	if cb := b.cfg.OnTransition; cb != nil {
+		b.mu.Unlock()
+		cb(from, to, reason)
+		b.mu.Lock()
+	}
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSnapshot is a point-in-time view for metrics and debugging.
+type BreakerSnapshot struct {
+	State           BreakerState
+	WindowSuccesses int64
+	WindowFailures  int64
+	Cooldown        time.Duration
+	Opens, Closes   int64
+	ProbeInFlight   bool
+}
+
+// Snapshot returns the breaker's current counters.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	now := b.cfg.Clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, f := b.windowCounts(now)
+	return BreakerSnapshot{
+		State:           b.state,
+		WindowSuccesses: s,
+		WindowFailures:  f,
+		Cooldown:        b.cooldown,
+		Opens:           b.opens,
+		Closes:          b.closes,
+		ProbeInFlight:   b.probing,
+	}
+}

@@ -1,0 +1,260 @@
+package router
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock, onTrans func(from, to BreakerState, reason string)) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:       10 * time.Second,
+		Buckets:      10,
+		MinRequests:  4,
+		FailureRate:  0.5,
+		Cooldown:     time.Second,
+		MaxCooldown:  8 * time.Second,
+		Clock:        clk.now,
+		OnTransition: onTrans,
+	})
+}
+
+// drive opens a closed breaker with enough windowed failures.
+func openBreaker(t *testing.T, b *Breaker, clk *fakeClock) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		ok, probe := b.Allow()
+		if !ok || probe {
+			t.Fatalf("closed breaker Allow = %v, %v", ok, probe)
+		}
+		b.Record(Failure, probe)
+		clk.advance(10 * time.Millisecond)
+	}
+	if s := b.State(); s != StateOpen {
+		t.Fatalf("state after 4 failures = %v, want open", s)
+	}
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	b := testBreaker(clk, func(from, to BreakerState, reason string) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+
+	// Below MinRequests nothing happens even at 100% failures.
+	for i := 0; i < 3; i++ {
+		b.Record(Failure, false)
+	}
+	if s := b.State(); s != StateClosed {
+		t.Fatalf("state below MinRequests = %v, want closed", s)
+	}
+	b.Record(Failure, false)
+	if s := b.State(); s != StateOpen {
+		t.Fatalf("state at 4/4 failures = %v, want open", s)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	if len(transitions) != 1 || transitions[0] != "closed->open" {
+		t.Fatalf("transitions = %v", transitions)
+	}
+}
+
+func TestBreakerMixedRateStaysClosedUnderThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, nil)
+	// 3 failures / 7 successes = 30% < 50%: stays closed.
+	for i := 0; i < 7; i++ {
+		b.Record(Success, false)
+	}
+	for i := 0; i < 3; i++ {
+		b.Record(Failure, false)
+	}
+	if s := b.State(); s != StateClosed {
+		t.Fatalf("state at 30%% failure rate = %v, want closed", s)
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, nil)
+	openBreaker(t, b, clk)
+
+	clk.advance(time.Second) // cooldown elapses
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("post-cooldown Allow = %v, %v; want probe admission", ok, probe)
+	}
+	if s := b.State(); s != StateHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", s)
+	}
+	b.Record(Success, probe)
+	if s := b.State(); s != StateClosed {
+		t.Fatalf("state after probe success = %v, want closed", s)
+	}
+	// Cooldown must have reset to the base for a future open.
+	if cd := b.Snapshot().Cooldown; cd != time.Second {
+		t.Fatalf("cooldown after close = %v, want reset to 1s", cd)
+	}
+}
+
+// TestBreakerProbeFailureReopensWithLongerCooldown is the satellite edge
+// case: a failed half-open probe must reopen the breaker and double the
+// cooldown (capped), so a persistently dead backend is probed at a backed-off
+// cadence instead of every base cooldown.
+func TestBreakerProbeFailureReopensWithLongerCooldown(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, nil)
+	openBreaker(t, b, clk)
+
+	wantCooldown := time.Second
+	for round := 0; round < 5; round++ {
+		clk.advance(wantCooldown)
+		ok, probe := b.Allow()
+		if !ok || !probe {
+			t.Fatalf("round %d: probe Allow = %v, %v", round, ok, probe)
+		}
+		b.Record(Failure, probe)
+		if s := b.State(); s != StateOpen {
+			t.Fatalf("round %d: state after probe failure = %v, want open", round, s)
+		}
+		wantCooldown *= 2
+		if wantCooldown > 8*time.Second {
+			wantCooldown = 8 * time.Second
+		}
+		if cd := b.Snapshot().Cooldown; cd != wantCooldown {
+			t.Fatalf("round %d: cooldown = %v, want %v", round, cd, wantCooldown)
+		}
+		// The longer cooldown must actually gate: just before it elapses the
+		// breaker still rejects.
+		clk.advance(wantCooldown - time.Millisecond)
+		if ok, _ := b.Allow(); ok {
+			t.Fatalf("round %d: breaker admitted before the escalated cooldown elapsed", round)
+		}
+		clk.advance(time.Millisecond - wantCooldown) // rewind to the round's start
+	}
+}
+
+// TestBreakerHalfOpenProbeSingleFlight is the satellite edge case: while one
+// probe is in flight, concurrent Allow calls must all be rejected — a
+// recovering backend sees exactly one request.
+func TestBreakerHalfOpenProbeSingleFlight(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, nil)
+	openBreaker(t, b, clk)
+	clk.advance(time.Second)
+
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("first Allow = %v, %v; want the probe slot", ok, probe)
+	}
+
+	// Hammer Allow concurrently while the probe is outstanding.
+	var admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ok, _ := b.Allow(); ok {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 0 {
+		t.Fatalf("%d concurrent Allow calls were admitted during a half-open probe, want 0", admitted)
+	}
+
+	b.Record(Success, true)
+	if s := b.State(); s != StateClosed {
+		t.Fatalf("state after probe success = %v, want closed", s)
+	}
+}
+
+// TestBreakerCanceledNotCountedAsFailure is the satellite edge case: a
+// hedged request's canceled twin must not move the failure window, and a
+// canceled probe re-arms the probe slot without deciding the state.
+func TestBreakerCanceledNotCountedAsFailure(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, nil)
+
+	// Closed: cancels contribute nothing to the window.
+	for i := 0; i < 100; i++ {
+		b.Record(Canceled, false)
+	}
+	snap := b.Snapshot()
+	if snap.WindowSuccesses != 0 || snap.WindowFailures != 0 {
+		t.Fatalf("window after 100 cancels = %+v, want empty", snap)
+	}
+	if s := b.State(); s != StateClosed {
+		t.Fatalf("state after 100 cancels = %v, want closed", s)
+	}
+
+	// Half-open: a canceled probe neither closes nor reopens, and the next
+	// Allow gets to probe again.
+	openBreaker(t, b, clk)
+	clk.advance(time.Second)
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatal("expected probe admission")
+	}
+	b.Record(Canceled, probe)
+	if s := b.State(); s != StateHalfOpen {
+		t.Fatalf("state after canceled probe = %v, want half-open (undecided)", s)
+	}
+	if cd := b.Snapshot().Cooldown; cd != time.Second {
+		t.Fatalf("cooldown after canceled probe = %v, want unchanged 1s", cd)
+	}
+	ok, probe = b.Allow()
+	if !ok || !probe {
+		t.Fatalf("re-probe Allow after cancel = %v, %v; want a fresh probe slot", ok, probe)
+	}
+	b.Record(Success, probe)
+	if s := b.State(); s != StateClosed {
+		t.Fatalf("state after re-probe success = %v, want closed", s)
+	}
+}
+
+func TestBreakerWindowExpiresOldFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.Record(Failure, false)
+	}
+	// Outside the 10s window these failures must no longer count.
+	clk.advance(11 * time.Second)
+	for i := 0; i < 3; i++ {
+		b.Record(Success, false)
+	}
+	b.Record(Failure, false) // 1 failure / 4 samples = 25% < 50%
+	if s := b.State(); s != StateClosed {
+		t.Fatalf("state = %v, want closed: expired failures were counted", s)
+	}
+}

@@ -1,0 +1,262 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosBackend is a killable/revivable hbcserve stand-in: it executes
+// "kernels" (mints a nonce per execution), dedupes on X-Idempotency-Key the
+// way internal/serve's completed-run cache does, and serves /readyz. kill
+// closes the listener and every connection — the in-process analogue of
+// SIGKILL — and revive rebinds the same address with an EMPTY idempotency
+// cache, because a restarted process has lost it.
+type chaosBackend struct {
+	t    *testing.T
+	id   string
+	addr string
+
+	mu    sync.Mutex
+	cache map[string]int64 // idem key -> nonce of the completed run
+	execs map[string]int   // idem key -> raw executions (pre-dedupe)
+	nonce int64
+	srv   *http.Server
+	up    bool
+}
+
+func newChaosBackend(t *testing.T, id string) *chaosBackend {
+	b := &chaosBackend{t: t, id: id, cache: map[string]int64{}, execs: map[string]int{}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.addr = ln.Addr().String()
+	b.serveOn(ln)
+	t.Cleanup(func() { b.kill() })
+	return b
+}
+
+func (b *chaosBackend) serveOn(ln net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("POST /run/{kernel}", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		key := r.Header.Get("X-Idempotency-Key")
+		b.mu.Lock()
+		n, hit := b.cache[key]
+		if !hit {
+			b.nonce++
+			n = b.nonce
+			if key != "" {
+				b.execs[key]++
+				b.cache[key] = n
+			}
+		}
+		b.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"backend":%q,"nonce":%d,"deduped":%v}`, b.id, n, hit)
+	})
+	srv := &http.Server{Handler: mux}
+	b.mu.Lock()
+	b.srv = srv
+	b.up = true
+	b.mu.Unlock()
+	go srv.Serve(ln)
+}
+
+// kill hard-stops the backend: listener and all live connections die now.
+func (b *chaosBackend) kill() {
+	b.mu.Lock()
+	srv := b.srv
+	b.up = false
+	b.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+// revive restarts the backend on its original address with a fresh (empty)
+// idempotency cache, like a restarted process.
+func (b *chaosBackend) revive() {
+	b.mu.Lock()
+	b.cache = map[string]int64{}
+	b.mu.Unlock()
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", b.addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.t.Fatalf("reviving %s on %s: %v", b.id, b.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	b.serveOn(ln)
+}
+
+// doubleExecuted returns the keys that raw-executed more than once on this
+// backend — dedupe failures, which must never happen within one process
+// lifetime.
+func (b *chaosBackend) doubleExecuted() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for k, n := range b.execs {
+		if n > 1 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestRouterSurvivesBackendKill is the acceptance chaos test: two backends
+// under steady idempotent load, one killed mid-run and revived later. The
+// router must (a) keep >= 99% of requests succeeding, (b) open the victim's
+// breaker while it is down and close it after revival, (c) eject and readmit
+// it through health probing, and (d) never double-execute a key within one
+// backend process lifetime.
+func TestRouterSurvivesBackendKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	b0 := newChaosBackend(t, "b0")
+	b1 := newChaosBackend(t, "b1")
+
+	rt, err := New(Config{
+		Backends: []Backend{
+			{ID: "b0", URL: "http://" + b0.addr},
+			{ID: "b1", URL: "http://" + b1.addr},
+		},
+		// Health ejection is deliberately slower (3 probes at 50ms) than the
+		// breaker's window (100ms): the breaker must open on the failure burst
+		// BEFORE ejection stops routing to the victim, which is exactly the
+		// "opens within the probe window" acceptance ordering.
+		Health:      HealthConfig{Interval: 50 * time.Millisecond, FailAfter: 3, PassAfter: 2},
+		Breaker:     BreakerConfig{Window: 100 * time.Millisecond, Buckets: 10, MinRequests: 2, FailureRate: 0.5, Cooldown: 50 * time.Millisecond},
+		MaxAttempts: 4,
+		RetryBase:   2 * time.Millisecond,
+		RetryCap:    20 * time.Millisecond,
+		// Hedging stays on defaults: the warmup gate keeps it disarmed for
+		// most of this short run, which is fine — the kill is the event.
+		Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	front := &http.Server{Handler: rt}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go front.Serve(ln)
+	defer front.Close()
+	base := "http://" + ln.Addr().String()
+
+	const (
+		workers   = 8
+		perWorker = 350
+	)
+	var ok, fail atomic.Int64
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 5 * time.Second}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req, _ := http.NewRequest(http.MethodPost, base+"/run/saxpy", strings.NewReader("{}"))
+				req.Header.Set("X-Tenant", fmt.Sprintf("tenant-%d", w))
+				resp, err := client.Do(req)
+				if err != nil {
+					fail.Add(1)
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						ok.Add(1)
+					} else {
+						fail.Add(1)
+					}
+				}
+				time.Sleep(3 * time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Let the run warm up, then SIGKILL-equivalent one backend under load.
+	time.Sleep(300 * time.Millisecond)
+	victim := b1
+	victim.kill()
+
+	// The victim's breaker must open while it is down (transport errors from
+	// in-flight and retried requests are the evidence).
+	waitCond(t, 3*time.Second, "victim breaker open", func() bool {
+		return rt.Breaker(victim.id).State() == StateOpen
+	})
+	// Health must eject it within the probe window (2 failed probes at 20ms).
+	waitCond(t, 3*time.Second, "victim ejected", func() bool {
+		return !rt.Health().Ready(victim.id)
+	})
+
+	time.Sleep(400 * time.Millisecond) // outage dwell, load keeps flowing
+	victim.revive()
+
+	// After revival: health readmits, and the breaker's half-open probe
+	// closes it.
+	waitCond(t, 3*time.Second, "victim readmitted", func() bool {
+		return rt.Health().Ready(victim.id)
+	})
+	waitCond(t, 3*time.Second, "victim breaker closed", func() bool {
+		return rt.Breaker(victim.id).State() == StateClosed
+	})
+
+	wg.Wait()
+
+	total := ok.Load() + fail.Load()
+	if total != workers*perWorker {
+		t.Fatalf("accounted %d of %d requests", total, workers*perWorker)
+	}
+	rate := float64(ok.Load()) / float64(total)
+	t.Logf("success %d/%d (%.2f%%), retries=%d hedges=%d",
+		ok.Load(), total, 100*rate, rt.retries.Load(), rt.hedges.Load())
+	if rate < 0.99 {
+		t.Fatalf("success rate %.4f under backend kill, want >= 0.99", rate)
+	}
+
+	// No key may execute twice within one backend process lifetime: the
+	// same-backend replay path must always hit the idempotency cache.
+	for _, b := range []*chaosBackend{b0, b1} {
+		if dbl := b.doubleExecuted(); len(dbl) > 0 {
+			t.Fatalf("backend %s double-executed %d key(s): %v", b.id, len(dbl), dbl)
+		}
+	}
+
+	// The transition log must tell the whole story: breaker open and close
+	// for the victim, health ejection and readmission.
+	saw := map[string]bool{}
+	for _, tr := range rt.Transitions() {
+		if tr.Backend == victim.id {
+			saw[tr.Kind+":"+tr.To] = true
+		}
+	}
+	for _, want := range []string{"breaker:open", "breaker:closed", "health:ejected", "health:ready"} {
+		if !saw[want] {
+			t.Fatalf("transition log missing %s for the victim; log: %+v", want, rt.Transitions())
+		}
+	}
+}

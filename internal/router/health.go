@@ -1,0 +1,212 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HealthConfig parameterizes a HealthChecker. Zero values select the
+// documented defaults.
+type HealthConfig struct {
+	// Interval is the probe period per backend (default 250ms); Timeout the
+	// per-probe HTTP timeout (default = Interval).
+	Interval time.Duration
+	Timeout  time.Duration
+	// FailAfter consecutive probe failures eject a backend; PassAfter
+	// consecutive successes readmit it (both default 2). The asymmetric
+	// counters are the hysteresis: one flaky probe neither ejects a healthy
+	// backend nor readmits a sick one.
+	FailAfter int
+	PassAfter int
+	// Client overrides the probe HTTP client (tests).
+	Client *http.Client
+	// OnChange, if set, observes every ejection/readmission.
+	OnChange func(id string, ready bool, reason string)
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.PassAfter <= 0 {
+		c.PassAfter = 2
+	}
+	return c
+}
+
+type healthTarget struct {
+	id    string
+	url   string // the backend's /readyz
+	ready atomic.Bool
+
+	mu     sync.Mutex
+	fails  int
+	passes int
+}
+
+// HealthChecker actively probes each backend's /readyz and maintains a
+// ready/ejected verdict with hysteresis. Backends start ready (optimism
+// keeps a cold-started router routing; a dead backend is ejected within
+// FailAfter probes, and the breaker covers the gap in between).
+type HealthChecker struct {
+	cfg     HealthConfig
+	client  *http.Client
+	mu      sync.Mutex
+	targets map[string]*healthTarget
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	ejections, readmissions atomic.Int64
+}
+
+// NewHealthChecker creates a checker for the given id -> readyz-URL map.
+// Call Start to begin probing; Ready answers true for every backend until
+// its first ejection.
+func NewHealthChecker(targets map[string]string, cfg HealthConfig) *HealthChecker {
+	cfg = cfg.withDefaults()
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	h := &HealthChecker{
+		cfg:     cfg,
+		client:  client,
+		targets: make(map[string]*healthTarget, len(targets)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for id, url := range targets {
+		t := &healthTarget{id: id, url: url}
+		t.ready.Store(true)
+		h.targets[id] = t
+	}
+	return h
+}
+
+// Start launches the probe loop.
+func (h *HealthChecker) Start() {
+	go func() {
+		defer close(h.done)
+		tick := time.NewTicker(h.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+				h.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops probing. Idempotent.
+func (h *HealthChecker) Close() {
+	h.once.Do(func() { close(h.stop) })
+	<-h.done
+}
+
+// Ready reports the current verdict for id (true for unknown ids, so the
+// router's ring filter fails open rather than blackholing).
+func (h *HealthChecker) Ready(id string) bool {
+	h.mu.Lock()
+	t := h.targets[id]
+	h.mu.Unlock()
+	if t == nil {
+		return true
+	}
+	return t.ready.Load()
+}
+
+// Stats returns lifetime (ejections, readmissions).
+func (h *HealthChecker) Stats() (int64, int64) {
+	return h.ejections.Load(), h.readmissions.Load()
+}
+
+// probeAll probes every target concurrently and joins before returning, so
+// one slow backend cannot delay the others' verdicts past a tick.
+func (h *HealthChecker) probeAll() {
+	h.mu.Lock()
+	targets := make([]*healthTarget, 0, len(h.targets))
+	for _, t := range h.targets {
+		targets = append(targets, t)
+	}
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		wg.Add(1)
+		go func(t *healthTarget) {
+			defer wg.Done()
+			h.probeOne(t)
+		}(t)
+	}
+	wg.Wait()
+}
+
+func (h *HealthChecker) probeOne(t *healthTarget) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url, nil)
+	if err != nil {
+		h.observe(t, false, err.Error())
+		return
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		h.observe(t, false, err.Error())
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.observe(t, false, fmt.Sprintf("readyz status %d", resp.StatusCode))
+		return
+	}
+	h.observe(t, true, "")
+}
+
+// observe applies one probe result through the hysteresis counters.
+func (h *HealthChecker) observe(t *healthTarget, ok bool, reason string) {
+	t.mu.Lock()
+	var flip bool
+	var nowReady bool
+	if ok {
+		t.passes++
+		t.fails = 0
+		if !t.ready.Load() && t.passes >= h.cfg.PassAfter {
+			t.ready.Store(true)
+			flip, nowReady = true, true
+			reason = fmt.Sprintf("%d consecutive passes", t.passes)
+		}
+	} else {
+		t.fails++
+		t.passes = 0
+		if t.ready.Load() && t.fails >= h.cfg.FailAfter {
+			t.ready.Store(false)
+			flip, nowReady = true, false
+			reason = fmt.Sprintf("%d consecutive failures: %s", t.fails, reason)
+		}
+	}
+	t.mu.Unlock()
+	if flip {
+		if nowReady {
+			h.readmissions.Add(1)
+		} else {
+			h.ejections.Add(1)
+		}
+		if cb := h.cfg.OnChange; cb != nil {
+			cb(t.id, nowReady, reason)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbc/internal/chaos"
+)
+
+// TestRouterSoakThroughNetProxy drives the router through chaos.NetProxy
+// fronting each backend, so every fault family the proxy can inject —
+// latency jitter, injected 5xx, connection resets, truncated bodies — hits
+// the retry/hedge/breaker stack at once. The nightly soak runs this under
+// -race repeatedly; the PR run keeps it short.
+//
+// The acceptance bar mirrors the kill test: idempotent requests must land
+// >= 99% despite the fault storm, and no key may double-execute within one
+// backend process lifetime.
+func TestRouterSoakThroughNetProxy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network chaos soak skipped in -short")
+	}
+	b0 := newChaosBackend(t, "b0")
+	b1 := newChaosBackend(t, "b1")
+
+	// Fault plans are deliberately offset (different primes) so the two
+	// proxies degrade different request ordinals.
+	newProxy := func(t *testing.T, upstream string, seed int64) *httptest.Server {
+		plan := chaos.NetFaultPlan{
+			Seed:           seed,
+			Latency:        time.Millisecond,
+			Jitter:         2 * time.Millisecond,
+			Inject5xxEvery: 29,
+			ResetEvery:     37 + seed, // offset the reset cadence per backend
+			ShortBodyEvery: 23,
+		}
+		p, err := chaos.NewNetProxy(upstream, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(p)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	p0 := newProxy(t, "http://"+b0.addr, 0)
+	p1 := newProxy(t, "http://"+b1.addr, 2)
+
+	rt, err := New(Config{
+		Backends: []Backend{
+			{ID: "b0", URL: p0.URL},
+			{ID: "b1", URL: p1.URL},
+		},
+		// Loose health hysteresis: injected faults occasionally hit a /readyz
+		// probe, and a single corrupted probe must not flap routing.
+		Health:      HealthConfig{Interval: 50 * time.Millisecond, FailAfter: 3, PassAfter: 1},
+		Breaker:     BreakerConfig{Window: 500 * time.Millisecond, MinRequests: 5, FailureRate: 0.6, Cooldown: 50 * time.Millisecond},
+		MaxAttempts: 4,
+		RetryBase:   2 * time.Millisecond,
+		RetryCap:    20 * time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	const (
+		workers   = 6
+		perWorker = 150
+	)
+	var ok, fail atomic.Int64
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 5 * time.Second}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req, _ := http.NewRequest(http.MethodPost, front.URL+"/run/spmv", strings.NewReader("{}"))
+				req.Header.Set("X-Tenant", fmt.Sprintf("tenant-%d", w))
+				resp, err := client.Do(req)
+				if err != nil {
+					fail.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					ok.Add(1)
+				} else {
+					fail.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := ok.Load() + fail.Load()
+	rate := float64(ok.Load()) / float64(total)
+	t.Logf("success %d/%d (%.2f%%) through fault proxies; retries=%d hedges=%d",
+		ok.Load(), total, 100*rate, rt.retries.Load(), rt.hedges.Load())
+	if rate < 0.99 {
+		t.Fatalf("success rate %.4f through the fault proxies, want >= 0.99", rate)
+	}
+	// The proxies must actually have injected faults, or this soak proved
+	// nothing.
+	if rt.retries.Load() == 0 {
+		t.Fatal("no retries recorded — the fault plans never fired?")
+	}
+	for _, b := range []*chaosBackend{b0, b1} {
+		if dbl := b.doubleExecuted(); len(dbl) > 0 {
+			t.Fatalf("backend %s double-executed %d key(s): %v", b.id, len(dbl), dbl)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package router is the resilient front tier for a fleet of hbcserve
+// backends: a consistent-hash HTTP proxy that keeps tenants sticky to a
+// backend (warm shards, admission fairness, and the idempotency cache all
+// benefit from stickiness) while surviving the backends themselves — it
+// health-checks /readyz with hysteresis, breaks circuits on failing
+// backends, retries idempotent work with capped jittered backoff, and hedges
+// tail latency against the next ring replica.
+//
+// The pieces compose in layers, each testable alone:
+//
+//   - Ring: consistent hashing with bounded loads — tenant affinity that a
+//     hot tenant cannot weaponize, because a backend past c× the mean
+//     in-flight load is skipped for its next ring neighbour;
+//   - HealthChecker: active /readyz probing with ejection/readmission
+//     hysteresis, so routing reacts to saturation before requests bounce;
+//   - Breaker: per-backend circuit breaker (closed→open→half-open) over a
+//     windowed failure rate, with single-flight half-open probes and
+//     escalating reopen cooldowns;
+//   - Router: the http.Handler tying them together with retries, hedging,
+//     and idempotency-key assignment.
+//
+// DESIGN.md §13 documents the contracts.
+package router
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Ring is a consistent-hash ring with bounded loads (the CHWBL variant:
+// Mirrokni et al., "Consistent Hashing with Bounded Loads"). Each backend
+// owns Replicas virtual points on a 64-bit ring; a key routes to the first
+// backend clockwise from its hash whose in-flight load stays under
+// ceil(c * (totalLoad+1) / backends). Stickiness degrades gracefully: a
+// backend made hot by one tenant spills that tenant's overflow to the next
+// ring neighbour instead of sinking.
+//
+// All methods are safe for concurrent use. Load accounting is the caller's
+// contract: Acquire before dispatching a request to a backend, Release when
+// it completes (hedged attempts count while in flight).
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	loadC    float64
+	points   []ringPoint // sorted by hash
+	backends map[string]*ringLoad
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+type ringLoad struct {
+	inflight atomic.Int64
+}
+
+// NewRing creates an empty ring. loadC is the bounded-load factor c (how far
+// above the mean one backend may run before spilling; <= 1 disables the
+// bound sensibly at 1.25); replicas the virtual points per backend (<= 0
+// selects 64).
+func NewRing(loadC float64, replicas int) *Ring {
+	if loadC <= 1 {
+		loadC = 1.25
+	}
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &Ring{replicas: replicas, loadC: loadC, backends: make(map[string]*ringLoad)}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	// FNV-1a disperses the low bits well but leaves the high bits — which
+	// decide ring position — correlated for short keys like "b2#17". Run the
+	// sum through a 64-bit avalanche finalizer (MurmurHash3 fmix64) so the
+	// virtual points actually spread around the ring.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a backend's virtual points. Adding an existing id is a no-op.
+func (r *Ring) Add(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.backends[id]; ok {
+		return
+	}
+	r.backends[id] = &ringLoad{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(id + "#" + strconv.Itoa(i)), id: id})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove drops a backend and its points. Keys it owned move to their next
+// clockwise neighbour; every other key keeps its backend — the consistency
+// property that makes membership churn cheap.
+func (r *Ring) Remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.backends[id]; !ok {
+		return
+	}
+	delete(r.backends, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Backends returns the member ids, sorted.
+func (r *Ring) Backends() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.backends))
+	for id := range r.backends {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Acquire records one in-flight request on id; Release undoes it. Unknown
+// ids (racing a Remove) are ignored.
+func (r *Ring) Acquire(id string) {
+	r.mu.RLock()
+	if b := r.backends[id]; b != nil {
+		b.inflight.Add(1)
+	}
+	r.mu.RUnlock()
+}
+
+// Release ends one in-flight request on id.
+func (r *Ring) Release(id string) {
+	r.mu.RLock()
+	if b := r.backends[id]; b != nil {
+		b.inflight.Add(-1)
+	}
+	r.mu.RUnlock()
+}
+
+// Load returns id's current in-flight count.
+func (r *Ring) Load(id string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if b := r.backends[id]; b != nil {
+		return b.inflight.Load()
+	}
+	return 0
+}
+
+// Pick returns up to n distinct backends for key, in preference order:
+// clockwise ring order from the key's hash, restricted to backends eligible
+// accepts (nil accepts all), with backends past the bounded-load threshold
+// deferred behind under-loaded ones rather than dropped — when every
+// eligible backend is hot the request must still go somewhere, and the
+// admission queues downstream are the real backstop.
+func (r *Ring) Pick(key string, n int, eligible func(id string) bool) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+
+	// The bound counts this request as already placed (+1), matching CHWBL.
+	var total int64
+	elig := 0
+	for id, b := range r.backends {
+		if eligible == nil || eligible(id) {
+			total += b.inflight.Load()
+			elig++
+		}
+	}
+	if elig == 0 {
+		return nil
+	}
+	bound := int64(math.Ceil(r.loadC * float64(total+1) / float64(elig)))
+
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var picked, overloaded []string
+	seen := make(map[string]bool, elig)
+	for i := 0; i < len(r.points) && len(picked) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		if eligible != nil && !eligible(p.id) {
+			continue
+		}
+		if r.backends[p.id].inflight.Load()+1 > bound {
+			overloaded = append(overloaded, p.id)
+			continue
+		}
+		picked = append(picked, p.id)
+	}
+	for _, id := range overloaded {
+		if len(picked) >= n {
+			break
+		}
+		picked = append(picked, id)
+	}
+	return picked
+}

@@ -1,0 +1,148 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingSpreadsKeysAcrossBackends(t *testing.T) {
+	r := NewRing(1.25, 64)
+	ids := []string{"b0", "b1", "b2", "b3"}
+	for _, id := range ids {
+		r.Add(id)
+	}
+	counts := make(map[string]int)
+	for i := 0; i < 4000; i++ {
+		got := r.Pick(fmt.Sprintf("tenant-%d", i), 1, nil)
+		if len(got) != 1 {
+			t.Fatalf("Pick returned %v", got)
+		}
+		counts[got[0]]++
+	}
+	for _, id := range ids {
+		// With 64 virtual points per backend the split is rough but no backend
+		// should be starved or own the majority.
+		if counts[id] < 400 || counts[id] > 2000 {
+			t.Fatalf("backend %s owns %d/4000 keys; distribution = %v", id, counts[id], counts)
+		}
+	}
+}
+
+func TestRingStickyPerKey(t *testing.T) {
+	r := NewRing(1.25, 64)
+	for _, id := range []string{"b0", "b1", "b2"} {
+		r.Add(id)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		first := r.Pick(key, 1, nil)
+		for rep := 0; rep < 5; rep++ {
+			if got := r.Pick(key, 1, nil); got[0] != first[0] {
+				t.Fatalf("key %s moved from %s to %s with no membership or load change", key, first[0], got[0])
+			}
+		}
+	}
+}
+
+func TestRingRemoveOnlyMovesVictimKeys(t *testing.T) {
+	r := NewRing(1.25, 64)
+	for _, id := range []string{"b0", "b1", "b2", "b3"} {
+		r.Add(id)
+	}
+	before := make(map[string]string)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		before[key] = r.Pick(key, 1, nil)[0]
+	}
+	r.Remove("b2")
+	moved := 0
+	for key, owner := range before {
+		now := r.Pick(key, 1, nil)[0]
+		if owner == "b2" {
+			if now == "b2" {
+				t.Fatalf("key %s still routes to removed backend", key)
+			}
+			continue
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed backend were reassigned; consistent hashing must only move the victim's keys", moved)
+	}
+}
+
+func TestRingBoundedLoadSpillsHotBackend(t *testing.T) {
+	r := NewRing(1.25, 64)
+	for _, id := range []string{"b0", "b1"} {
+		r.Add(id)
+	}
+	key := "hot-tenant"
+	home := r.Pick(key, 1, nil)[0]
+	other := "b0"
+	if home == "b0" {
+		other = "b1"
+	}
+	// Pile in-flight load onto the tenant's home backend until the bound
+	// (c * (total+1) / n) pushes the key to the neighbour.
+	for i := 0; i < 50; i++ {
+		r.Acquire(home)
+	}
+	if got := r.Pick(key, 1, nil)[0]; got != other {
+		t.Fatalf("hot backend %s (load %d) still preferred over idle %s", home, r.Load(home), other)
+	}
+	// Draining the load restores the home preference — the spill is a load
+	// response, not a permanent reassignment.
+	for i := 0; i < 50; i++ {
+		r.Release(home)
+	}
+	if got := r.Pick(key, 1, nil)[0]; got != home {
+		t.Fatalf("after drain key routes to %s, want home %s", got, home)
+	}
+}
+
+func TestRingPickHonorsEligibilityAndN(t *testing.T) {
+	r := NewRing(1.25, 64)
+	for _, id := range []string{"b0", "b1", "b2"} {
+		r.Add(id)
+	}
+	got := r.Pick("k", 3, nil)
+	if len(got) != 3 {
+		t.Fatalf("Pick(3) = %v", got)
+	}
+	seen := map[string]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("Pick returned duplicate %s: %v", id, got)
+		}
+		seen[id] = true
+	}
+
+	only := func(id string) bool { return id == "b1" }
+	if got := r.Pick("k", 3, only); len(got) != 1 || got[0] != "b1" {
+		t.Fatalf("Pick with eligibility = %v, want [b1]", got)
+	}
+	none := func(string) bool { return false }
+	if got := r.Pick("k", 3, none); got != nil {
+		t.Fatalf("Pick with nothing eligible = %v, want nil", got)
+	}
+}
+
+func TestRingEmptyAndUnknownOps(t *testing.T) {
+	r := NewRing(0, 0) // defaults kick in
+	if got := r.Pick("k", 1, nil); got != nil {
+		t.Fatalf("empty ring Pick = %v", got)
+	}
+	// Unknown-id load ops must not panic (racing Remove).
+	r.Acquire("ghost")
+	r.Release("ghost")
+	if l := r.Load("ghost"); l != 0 {
+		t.Fatalf("ghost load = %d", l)
+	}
+	r.Add("b0")
+	r.Add("b0") // idempotent
+	if got := r.Backends(); len(got) != 1 || got[0] != "b0" {
+		t.Fatalf("Backends = %v", got)
+	}
+}

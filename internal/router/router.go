@@ -1,0 +1,754 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbc/internal/telemetry"
+)
+
+// Backend names one hbcserve instance the router fronts.
+type Backend struct {
+	// ID is the stable ring identity (survives restarts at the same
+	// address); URL the HTTP base, e.g. "http://127.0.0.1:8077".
+	ID, URL string
+}
+
+// Config parameterizes a Router. Zero values select the documented defaults.
+type Config struct {
+	// Backends is the fleet to front. Required, non-empty.
+	Backends []Backend
+	// LoadFactor is the ring's bounded-load c (default 1.25); Replicas its
+	// virtual points per backend (default 64).
+	LoadFactor float64
+	Replicas   int
+	// Health configures the /readyz prober; Breaker the per-backend circuit
+	// breakers.
+	Health  HealthConfig
+	Breaker BreakerConfig
+	// MaxAttempts bounds tries per request including the first (default 3).
+	MaxAttempts int
+	// RetryBase and RetryCap shape the capped exponential backoff between
+	// attempts (defaults 25ms, 1s). The sleep is full-jitter: uniform in
+	// (0, min(cap, base<<attempt)], with the window raised to an upstream
+	// Retry-After hint when one was given — the hint is honored as a floor
+	// on the window, the jitter decorrelates the herd it would otherwise
+	// synchronize.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// HedgeQuantile picks the per-kernel latency quantile that arms the
+	// hedge timer (default 0.9); HedgeMin/HedgeMax clamp the delay (defaults
+	// 1ms, 2s); HedgeWarmup is the per-kernel sample count required before
+	// hedging arms at all (default 16 — the histogram must have seen enough
+	// of the distribution for its tail to mean something). DisableHedging
+	// turns the feature off.
+	HedgeQuantile  float64
+	HedgeMin       time.Duration
+	HedgeMax       time.Duration
+	HedgeWarmup    int
+	DisableHedging bool
+	// DisableIdemAssign stops the router from generating an
+	// X-Idempotency-Key for POST /run requests that lack one. Without a key
+	// a request is not retried (it is not provably idempotent) — assignment
+	// is what makes the retry stack safe by default.
+	DisableIdemAssign bool
+	// MaxBody bounds the request-body bytes buffered for replay across
+	// attempts (default 1<<20); larger bodies get 413.
+	MaxBody int64
+	// Registry, if non-nil, receives the "router" and "router_backend"
+	// metric groups.
+	Registry *telemetry.Registry
+	// Transport overrides the upstream round tripper (tests, chaos).
+	Transport http.RoundTripper
+	// Seed seeds the backoff jitter (0 = time-seeded).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = 1.25
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = time.Second
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.9
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 2 * time.Second
+	}
+	if c.HedgeWarmup <= 0 {
+		c.HedgeWarmup = 16
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	return c
+}
+
+// backendRT is one backend's runtime state.
+type backendRT struct {
+	id      string
+	base    *url.URL
+	breaker *Breaker
+
+	requests atomic.Int64
+	failures atomic.Int64
+	hedges   atomic.Int64
+}
+
+// Transition is one recorded state change (breaker or health), kept in a
+// bounded in-memory log so a drained soak run can still explain itself.
+type Transition struct {
+	When    time.Time `json:"when"`
+	Kind    string    `json:"kind"` // "breaker" | "health"
+	Backend string    `json:"backend"`
+	From    string    `json:"from"`
+	To      string    `json:"to"`
+	Reason  string    `json:"reason"`
+}
+
+const transitionLogCap = 256
+
+// Router is the resilient front tier: an http.Handler proxying requests
+// across the backend fleet with consistent-hash tenant affinity, health
+// ejection, circuit breaking, idempotent retries, and tail hedging.
+// Construct with New, then Start; Close stops the health prober.
+type Router struct {
+	cfg       Config
+	ring      *Ring
+	health    *HealthChecker
+	backends  map[string]*backendRT
+	order     []string // sorted ids, for deterministic metrics/JSON
+	transport http.RoundTripper
+
+	rngMu sync.Mutex
+	rng   *mrand.Rand
+
+	histMu sync.Mutex
+	hists  map[string]*telemetry.Histogram
+
+	transMu     sync.Mutex
+	transitions []Transition
+
+	idemPrefix string
+	idemSeq    atomic.Int64
+
+	requests  atomic.Int64
+	proxied   atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	noBackend atomic.Int64
+}
+
+// New builds a Router over the configured backends.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: no backends configured")
+	}
+	var prefix [6]byte
+	_, _ = rand.Read(prefix[:])
+	rt := &Router{
+		cfg:        cfg,
+		ring:       NewRing(cfg.LoadFactor, cfg.Replicas),
+		backends:   make(map[string]*backendRT, len(cfg.Backends)),
+		transport:  cfg.Transport,
+		rng:        mrand.New(mrand.NewSource(cfg.Seed)),
+		hists:      make(map[string]*telemetry.Histogram),
+		idemPrefix: hex.EncodeToString(prefix[:]),
+	}
+	probes := make(map[string]string, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		if b.ID == "" || b.URL == "" {
+			return nil, fmt.Errorf("router: backend needs both ID and URL: %+v", b)
+		}
+		if _, dup := rt.backends[b.ID]; dup {
+			return nil, fmt.Errorf("router: duplicate backend id %q", b.ID)
+		}
+		base, err := url.Parse(b.URL)
+		if err != nil {
+			return nil, fmt.Errorf("router: backend %s: %w", b.ID, err)
+		}
+		id := b.ID
+		bcfg := cfg.Breaker
+		bcfg.OnTransition = func(from, to BreakerState, reason string) {
+			rt.recordTransition("breaker", id, from.String(), to.String(), reason)
+		}
+		rt.backends[id] = &backendRT{id: id, base: base, breaker: NewBreaker(bcfg)}
+		rt.order = append(rt.order, id)
+		rt.ring.Add(id)
+		probes[id] = strings.TrimRight(b.URL, "/") + "/readyz"
+	}
+	sort.Strings(rt.order)
+	hcfg := cfg.Health
+	hcfg.OnChange = func(id string, ready bool, reason string) {
+		from, to := "ready", "ejected"
+		if ready {
+			from, to = "ejected", "ready"
+		}
+		rt.recordTransition("health", id, from, to, reason)
+	}
+	rt.health = NewHealthChecker(probes, hcfg)
+	if cfg.Registry != nil {
+		rt.registerMetrics(cfg.Registry)
+	}
+	return rt, nil
+}
+
+// Start begins health probing.
+func (rt *Router) Start() { rt.health.Start() }
+
+// Close stops the health prober.
+func (rt *Router) Close() { rt.health.Close() }
+
+func (rt *Router) recordTransition(kind, backend, from, to, reason string) {
+	ev := Transition{When: time.Now(), Kind: kind, Backend: backend, From: from, To: to, Reason: reason}
+	rt.transMu.Lock()
+	rt.transitions = append(rt.transitions, ev)
+	if len(rt.transitions) > transitionLogCap {
+		rt.transitions = rt.transitions[len(rt.transitions)-transitionLogCap:]
+	}
+	rt.transMu.Unlock()
+}
+
+// Transitions returns a copy of the recorded breaker/health transitions,
+// oldest first.
+func (rt *Router) Transitions() []Transition {
+	rt.transMu.Lock()
+	defer rt.transMu.Unlock()
+	out := make([]Transition, len(rt.transitions))
+	copy(out, rt.transitions)
+	return out
+}
+
+// Breaker returns backend id's breaker (nil if unknown) — the hook tests and
+// the status endpoint use.
+func (rt *Router) Breaker(id string) *Breaker {
+	if b := rt.backends[id]; b != nil {
+		return b.breaker
+	}
+	return nil
+}
+
+// Health returns the health checker.
+func (rt *Router) Health() *HealthChecker { return rt.health }
+
+// hist returns (creating) the latency histogram for a kernel.
+func (rt *Router) hist(kernel string) *telemetry.Histogram {
+	rt.histMu.Lock()
+	defer rt.histMu.Unlock()
+	h := rt.hists[kernel]
+	if h == nil {
+		h = &telemetry.Histogram{}
+		rt.hists[kernel] = h
+	}
+	return h
+}
+
+// hedgeDelay returns how long to wait before hedging a request for kernel,
+// or 0 when hedging should not arm (disabled, unknown kernel, or the
+// histogram is still warming up).
+func (rt *Router) hedgeDelay(kernel string) time.Duration {
+	if rt.cfg.DisableHedging || kernel == "" {
+		return 0
+	}
+	h := rt.hist(kernel)
+	if h.Count() < uint64(rt.cfg.HedgeWarmup) {
+		return 0
+	}
+	d := h.Quantile(rt.cfg.HedgeQuantile)
+	if d < rt.cfg.HedgeMin {
+		d = rt.cfg.HedgeMin
+	}
+	if d > rt.cfg.HedgeMax {
+		d = rt.cfg.HedgeMax
+	}
+	return d
+}
+
+// backoff computes the sleep before retry number attempt (0-based): full
+// jitter over a capped exponential window, with the window raised to an
+// upstream Retry-After hint when one is present.
+func (rt *Router) backoff(attempt int, hint time.Duration) time.Duration {
+	d := rt.cfg.RetryBase
+	for i := 0; i < attempt && d < rt.cfg.RetryCap; i++ {
+		d *= 2
+	}
+	if d > rt.cfg.RetryCap {
+		d = rt.cfg.RetryCap
+	}
+	if hint > d {
+		d = hint
+		if max := 5 * time.Second; d > max {
+			d = max
+		}
+	}
+	rt.rngMu.Lock()
+	j := time.Duration(rt.rng.Int63n(int64(d))) + 1
+	rt.rngMu.Unlock()
+	return j
+}
+
+// newIdemKey mints a router-assigned idempotency key: unique per logical
+// request, shared by its retries and hedges.
+func (rt *Router) newIdemKey() string {
+	return fmt.Sprintf("rt-%s-%d", rt.idemPrefix, rt.idemSeq.Add(1))
+}
+
+// attemptResult is one upstream attempt's outcome, buffered so it can be
+// replayed to the client or discarded for a retry.
+type attemptResult struct {
+	backend    string
+	hedged     bool
+	status     int
+	header     http.Header
+	body       []byte
+	err        error
+	retryable  bool
+	retryAfter time.Duration
+}
+
+// kernelFromPath extracts the kernel name from a /run/{kernel} path, "" for
+// anything else.
+func kernelFromPath(path string) string {
+	if rest, ok := strings.CutPrefix(path, "/run/"); ok && rest != "" && !strings.Contains(rest, "/") {
+		return rest
+	}
+	return ""
+}
+
+// ServeHTTP proxies one client request through the resilience stack.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+
+	var body []byte
+	if r.Body != nil {
+		b, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBody+1))
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+			return
+		}
+		if int64(len(b)) > rt.cfg.MaxBody {
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d byte limit", rt.cfg.MaxBody))
+			return
+		}
+		body = b
+	}
+
+	kernel := kernelFromPath(r.URL.Path)
+	idem := r.Header.Get("X-Idempotency-Key")
+	if idem == "" && kernel != "" && r.Method == http.MethodPost && !rt.cfg.DisableIdemAssign {
+		idem = rt.newIdemKey()
+	}
+	// Retry safety: GETs are idempotent by HTTP semantics; a run is only
+	// replayable when it carries a key the backend dedupes on.
+	idempotent := idem != "" || r.Method == http.MethodGet || r.Method == http.MethodHead
+
+	routeKey := r.Header.Get("X-Tenant")
+	if routeKey == "" {
+		routeKey = r.URL.Path
+	}
+
+	exclude := make(map[string]bool)
+	var last *attemptResult
+	for attempt := 0; attempt < rt.cfg.MaxAttempts; attempt++ {
+		res := rt.dispatch(r.Context(), r, body, routeKey, kernel, idem, exclude)
+		if res == nil {
+			rt.noBackend.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, http.StatusServiceUnavailable, "no backend available")
+			return
+		}
+		last = res
+		if !res.retryable || !idempotent {
+			break
+		}
+		if attempt+1 >= rt.cfg.MaxAttempts {
+			break
+		}
+		// Prefer a different backend for the retry; if the fleet is down to
+		// one, retrying the same backend after backoff is still right.
+		exclude[res.backend] = true
+		rt.retries.Add(1)
+		if !sleepCtx(r.Context(), rt.backoff(attempt, res.retryAfter)) {
+			writeJSONError(w, http.StatusGatewayTimeout, "client gone during retry backoff")
+			return
+		}
+	}
+	rt.writeResult(w, last, kernel)
+}
+
+// dispatch runs one logical attempt: pick a backend (ring order, health
+// filter, breaker admission), send, and — once the kernel's hedge delay
+// elapses without an answer — race a second attempt on the next replica.
+// Returns nil when no backend could be tried at all.
+func (rt *Router) dispatch(ctx context.Context, r *http.Request, body []byte,
+	routeKey, kernel, idem string, exclude map[string]bool) *attemptResult {
+
+	candidates := rt.ring.Pick(routeKey, len(rt.backends), func(id string) bool {
+		return !exclude[id] && rt.health.Ready(id)
+	})
+	if len(candidates) == 0 && len(exclude) > 0 {
+		// Everything healthy is excluded (already tried): lift the exclusion
+		// rather than failing a request the fleet could still serve.
+		candidates = rt.ring.Pick(routeKey, len(rt.backends), rt.health.Ready)
+	}
+	if len(candidates) == 0 {
+		// Health has ejected everyone; the breakers may still let a probe
+		// through, which doubles as the "is it back" check under total
+		// blackout.
+		candidates = rt.ring.Pick(routeKey, len(rt.backends), nil)
+	}
+
+	// Breaker admission in preference order.
+	var primary *backendRT
+	var primaryProbe bool
+	next := len(candidates)
+	for i, id := range candidates {
+		if ok, probe := rt.backends[id].breaker.Allow(); ok {
+			primary, primaryProbe = rt.backends[id], probe
+			next = i + 1
+			break
+		}
+	}
+	if primary == nil {
+		return nil
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan *attemptResult, 2)
+	go rt.try(actx, primary, primaryProbe, r, body, idem, false, results)
+	outstanding := 1
+
+	var hedgeC <-chan time.Time
+	if d := rt.hedgeDelay(kernel); d > 0 && next < len(candidates) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var first *attemptResult
+	for {
+		select {
+		case res := <-results:
+			outstanding--
+			good := res.err == nil && !res.retryable
+			if good || outstanding == 0 {
+				cancel() // the loser, if any, records Canceled — not a breaker failure
+				if res.hedged && good {
+					rt.hedgeWins.Add(1)
+				}
+				if !good && first != nil {
+					// Both attempts failed; prefer the primary's verdict
+					// unless only the hedge produced an HTTP response.
+					if first.err == nil || res.err != nil {
+						return first
+					}
+				}
+				return res
+			}
+			first = res
+		case <-hedgeC:
+			hedgeC = nil
+			// Admit the hedge through the next replica's breaker; a closed
+			// slot just means no hedge this time.
+			for ; next < len(candidates); next++ {
+				b := rt.backends[candidates[next]]
+				if ok, probe := b.breaker.Allow(); ok {
+					rt.hedges.Add(1)
+					b.hedges.Add(1)
+					outstanding++
+					go rt.try(actx, b, probe, r, body, idem, true, results)
+					next++
+					break
+				}
+			}
+		}
+	}
+}
+
+// try performs one upstream HTTP attempt and classifies it for the breaker
+// and the retry loop. It always sends exactly one result.
+func (rt *Router) try(ctx context.Context, b *backendRT, probe bool, orig *http.Request,
+	body []byte, idem string, hedged bool, out chan<- *attemptResult) {
+
+	res := &attemptResult{backend: b.id, hedged: hedged}
+	target := *orig.URL
+	target.Scheme = b.base.Scheme
+	target.Host = b.base.Host
+	req, err := http.NewRequestWithContext(ctx, orig.Method, target.String(), bytes.NewReader(body))
+	if err != nil {
+		res.err = err
+		out <- res
+		return
+	}
+	req.Header = orig.Header.Clone()
+	if idem != "" {
+		req.Header.Set("X-Idempotency-Key", idem)
+	}
+
+	rt.ring.Acquire(b.id)
+	defer rt.ring.Release(b.id)
+	b.requests.Add(1)
+
+	t0 := time.Now()
+	resp, err := rt.transport.RoundTrip(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Canceled mid-flight: hedge loser or client disconnect. Not
+			// evidence about the backend.
+			b.breaker.Record(Canceled, probe)
+			res.err = ctx.Err()
+			res.retryable = false
+		} else {
+			b.breaker.Record(Failure, probe)
+			b.failures.Add(1)
+			res.err = err
+			res.retryable = true
+		}
+		out <- res
+		return
+	}
+	respBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		// Truncated or reset mid-body: the ack never fully arrived, so the
+		// attempt failed even if the status line was 200.
+		if ctx.Err() != nil {
+			b.breaker.Record(Canceled, probe)
+			res.err = ctx.Err()
+			res.retryable = false
+		} else {
+			b.breaker.Record(Failure, probe)
+			b.failures.Add(1)
+			res.err = fmt.Errorf("reading upstream body: %w", err)
+			res.retryable = true
+		}
+		out <- res
+		return
+	}
+
+	res.status = resp.StatusCode
+	res.header = resp.Header
+	res.body = respBody
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, perr := strconv.Atoi(h); perr == nil && secs > 0 {
+			res.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		b.breaker.Record(Success, probe)
+		if k := kernelFromPath(orig.URL.Path); k != "" {
+			rt.hist(k).Observe(time.Since(t0))
+		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Flow control, not a fault: the backend is alive and telling us to
+		// back off. Retryable (elsewhere, or later with the hint), but never
+		// breaker evidence.
+		b.breaker.Record(Success, probe)
+		res.retryable = true
+	case resp.StatusCode == http.StatusBadGateway ||
+		resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode == http.StatusGatewayTimeout:
+		b.breaker.Record(Failure, probe)
+		b.failures.Add(1)
+		res.retryable = true
+	default:
+		// 4xx and 500 (contained kernel panic) are the backend answering
+		// deterministically: proxy them through, count the backend healthy.
+		b.breaker.Record(Success, probe)
+	}
+	out <- res
+}
+
+// writeResult relays the final attempt to the client.
+func (rt *Router) writeResult(w http.ResponseWriter, res *attemptResult, kernel string) {
+	if res == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, "no backend available")
+		return
+	}
+	if res.err != nil {
+		if res.err == context.DeadlineExceeded || res.err == context.Canceled {
+			writeJSONError(w, http.StatusGatewayTimeout, "upstream attempt canceled: "+res.err.Error())
+			return
+		}
+		writeJSONError(w, http.StatusBadGateway, "upstream: "+res.err.Error())
+		return
+	}
+	rt.proxied.Add(1)
+	for k, vs := range res.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Hbc-Backend", res.backend)
+	if res.hedged {
+		w.Header().Set("X-Hbc-Hedged", "1")
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// StatusHandler serves the router's own state as JSON: per-backend health,
+// breaker snapshots, in-flight load, and the transition log.
+func (rt *Router) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		type backendStatus struct {
+			ID       string          `json:"id"`
+			URL      string          `json:"url"`
+			Ready    bool            `json:"ready"`
+			Breaker  string          `json:"breaker"`
+			Inflight int64           `json:"inflight"`
+			Requests int64           `json:"requests"`
+			Failures int64           `json:"failures"`
+			Hedges   int64           `json:"hedges"`
+			Snapshot BreakerSnapshot `json:"snapshot"`
+		}
+		out := struct {
+			Backends    []backendStatus `json:"backends"`
+			Transitions []Transition    `json:"transitions"`
+		}{}
+		for _, id := range rt.order {
+			b := rt.backends[id]
+			out.Backends = append(out.Backends, backendStatus{
+				ID:       id,
+				URL:      b.base.String(),
+				Ready:    rt.health.Ready(id),
+				Breaker:  b.breaker.State().String(),
+				Inflight: rt.ring.Load(id),
+				Requests: b.requests.Load(),
+				Failures: b.failures.Load(),
+				Hedges:   b.hedges.Load(),
+				Snapshot: b.breaker.Snapshot(),
+			})
+		}
+		out.Transitions = rt.Transitions()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(out)
+	})
+}
+
+// Routable reports whether at least one backend is currently health-ready
+// with a non-open breaker — the router's own readiness.
+func (rt *Router) Routable() bool {
+	for id, b := range rt.backends {
+		if rt.health.Ready(id) && b.breaker.State() != StateOpen {
+			return true
+		}
+	}
+	return false
+}
+
+// registerMetrics publishes the "router" and "router_backend" groups.
+func (rt *Router) registerMetrics(reg *telemetry.Registry) {
+	reg.Register("router", func(emit func(string, float64)) {
+		emit("requests_total", float64(rt.requests.Load()))
+		emit("proxied_total", float64(rt.proxied.Load()))
+		emit("retries_total", float64(rt.retries.Load()))
+		emit("hedges_total", float64(rt.hedges.Load()))
+		emit("hedge_wins_total", float64(rt.hedgeWins.Load()))
+		emit("no_backend_total", float64(rt.noBackend.Load()))
+		ej, re := rt.health.Stats()
+		emit("health_ejections_total", float64(ej))
+		emit("health_readmissions_total", float64(re))
+		if rt.Routable() {
+			emit("routable", 1)
+		} else {
+			emit("routable", 0)
+		}
+	})
+	reg.Register("router_backend", func(emit func(string, float64)) {
+		for _, id := range rt.order {
+			b := rt.backends[id]
+			snap := b.breaker.Snapshot()
+			emit(id+"_state", float64(snap.State))
+			emit(id+"_opens_total", float64(snap.Opens))
+			emit(id+"_closes_total", float64(snap.Closes))
+			if rt.health.Ready(id) {
+				emit(id+"_ready", 1)
+			} else {
+				emit(id+"_ready", 0)
+			}
+			emit(id+"_inflight", float64(rt.ring.Load(id)))
+			emit(id+"_requests_total", float64(b.requests.Load()))
+			emit(id+"_failures_total", float64(b.failures.Load()))
+		}
+	})
+	reg.Register("router_kernel", func(emit func(string, float64)) {
+		rt.histMu.Lock()
+		names := make([]string, 0, len(rt.hists))
+		for k := range rt.hists {
+			names = append(names, k)
+		}
+		hists := make(map[string]*telemetry.Histogram, len(names))
+		for _, k := range names {
+			hists[k] = rt.hists[k]
+		}
+		rt.histMu.Unlock()
+		sort.Strings(names)
+		for _, k := range names {
+			hists[k].Collect(k+"_latency", emit)
+		}
+	})
+}
+
+// sleepCtx sleeps for d unless ctx ends first; reports whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,372 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubBackend is an httptest hbcserve stand-in that records the requests it
+// sees and answers via a swappable handler.
+type stubBackend struct {
+	id   string
+	srv  *httptest.Server
+	hits atomic.Int64
+
+	mu       sync.Mutex
+	idemSeen []string
+	handler  func(w http.ResponseWriter, r *http.Request)
+}
+
+func newStubBackend(t *testing.T, id string) *stubBackend {
+	t.Helper()
+	b := &stubBackend{id: id}
+	b.handler = func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"backend":%q}`, id)
+	}
+	b.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.hits.Add(1)
+		b.mu.Lock()
+		if k := r.Header.Get("X-Idempotency-Key"); k != "" {
+			b.idemSeen = append(b.idemSeen, k)
+		}
+		h := b.handler
+		b.mu.Unlock()
+		h(w, r)
+	}))
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+func (b *stubBackend) setHandler(h func(w http.ResponseWriter, r *http.Request)) {
+	b.mu.Lock()
+	b.handler = h
+	b.mu.Unlock()
+}
+
+func (b *stubBackend) idemKeys() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.idemSeen...)
+}
+
+func (b *stubBackend) backend() Backend { return Backend{ID: b.id, URL: b.srv.URL} }
+
+func newTestRouter(t *testing.T, cfg Config, backends ...*stubBackend) *Router {
+	t.Helper()
+	for _, b := range backends {
+		cfg.Backends = append(cfg.Backends, b.backend())
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	if cfg.RetryCap == 0 {
+		cfg.RetryCap = 10 * time.Millisecond
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Health prober deliberately not started: every backend reads ready, so
+	// tests drive the breaker/retry paths deterministically.
+	return rt
+}
+
+func doRun(rt *Router, kernel, tenant, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/run/"+kernel, strings.NewReader(body))
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	return w
+}
+
+func TestRouterProxiesAndAssignsIdempotencyKey(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	b1 := newStubBackend(t, "b1")
+	rt := newTestRouter(t, Config{}, b0, b1)
+
+	w := doRun(rt, "saxpy", "tenant-a", `{"n":1}`, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	if w.Header().Get("X-Hbc-Backend") == "" {
+		t.Fatal("missing X-Hbc-Backend header")
+	}
+	keys := append(b0.idemKeys(), b1.idemKeys()...)
+	if len(keys) != 1 || !strings.HasPrefix(keys[0], "rt-") {
+		t.Fatalf("backend saw idempotency keys %v, want one router-assigned rt-* key", keys)
+	}
+}
+
+func TestRouterTenantAffinity(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	b1 := newStubBackend(t, "b1")
+	b2 := newStubBackend(t, "b2")
+	rt := newTestRouter(t, Config{}, b0, b1, b2)
+
+	first := doRun(rt, "saxpy", "tenant-sticky", "{}", nil).Header().Get("X-Hbc-Backend")
+	for i := 0; i < 10; i++ {
+		got := doRun(rt, "saxpy", "tenant-sticky", "{}", nil).Header().Get("X-Hbc-Backend")
+		if got != first {
+			t.Fatalf("request %d for the same tenant landed on %s, first went to %s", i, got, first)
+		}
+	}
+}
+
+func TestRouterRetriesIdempotentOn503(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	b1 := newStubBackend(t, "b1")
+	var failed atomic.Int64
+	flaky := func(w http.ResponseWriter, r *http.Request) {
+		if failed.Add(1) == 1 {
+			http.Error(w, "shed", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}
+	b0.setHandler(flaky)
+	b1.setHandler(flaky)
+	rt := newTestRouter(t, Config{}, b0, b1)
+
+	w := doRun(rt, "saxpy", "tenant-a", "{}", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d after retry, body %s", w.Code, w.Body)
+	}
+	if got := rt.retries.Load(); got != 1 {
+		t.Fatalf("retries_total = %d, want 1", got)
+	}
+	// The retry moved to the other backend and reused the same key, so the
+	// backend-side idempotency cache can dedupe any replay.
+	if b0.hits.Load() != 1 || b1.hits.Load() != 1 {
+		t.Fatalf("hits = b0:%d b1:%d, want the retry on the other backend", b0.hits.Load(), b1.hits.Load())
+	}
+	keys := append(b0.idemKeys(), b1.idemKeys()...)
+	if len(keys) != 2 || keys[0] != keys[1] {
+		t.Fatalf("idempotency keys across attempts = %v, want the same key twice", keys)
+	}
+}
+
+func TestRouterDoesNotRetryNonIdempotent(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	b0.setHandler(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	})
+	rt := newTestRouter(t, Config{DisableIdemAssign: true}, b0)
+
+	w := doRun(rt, "saxpy", "", "{}", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want the 503 proxied through untouched", w.Code)
+	}
+	if got := b0.hits.Load(); got != 1 {
+		t.Fatalf("backend hits = %d: a keyless POST must not be retried", got)
+	}
+	if got := rt.retries.Load(); got != 0 {
+		t.Fatalf("retries_total = %d, want 0", got)
+	}
+}
+
+func TestRouterRetriesOn429AsFlowControl(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	var n atomic.Int64
+	b0.setHandler(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	rt := newTestRouter(t, Config{}, b0)
+
+	w := doRun(rt, "saxpy", "", "{}", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after backoff+retry", w.Code)
+	}
+	// 429 is flow control, not a fault: the breaker must not have moved.
+	if snap := rt.Breaker("b0").Snapshot(); snap.WindowFailures != 0 {
+		t.Fatalf("breaker window after 429 = %+v, want no failures", snap)
+	}
+}
+
+func TestRouterBreakerOpensAndShedsCleanly(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	url := b0.srv.URL
+	b0.srv.Close() // dead from the start: every attempt is a transport error
+	cfg := Config{
+		Backends: []Backend{{ID: "b0", URL: url}},
+		Breaker:  BreakerConfig{MinRequests: 2, FailureRate: 0.5, Cooldown: time.Minute},
+		Seed:     1, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := doRun(rt, "saxpy", "", "{}", nil)
+	// Two transport failures open the breaker; the third attempt finds no
+	// admissible backend and the router degrades to an explicit 503.
+	if rt.Breaker("b0").State() != StateOpen {
+		t.Fatalf("breaker state = %v, want open after repeated transport failures", rt.Breaker("b0").State())
+	}
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 with no backend available", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	var body map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Fatalf("shed body = %q, want a JSON error", w.Body)
+	}
+	// The open transition must be in the log.
+	var sawOpen bool
+	for _, tr := range rt.Transitions() {
+		if tr.Kind == "breaker" && tr.Backend == "b0" && tr.To == "open" {
+			sawOpen = true
+		}
+	}
+	if !sawOpen {
+		t.Fatalf("transition log %+v missing the breaker open", rt.Transitions())
+	}
+}
+
+func TestRouterHedgesSlowPrimary(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	b1 := newStubBackend(t, "b1")
+	rt := newTestRouter(t, Config{HedgeMin: time.Millisecond, HedgeWarmup: 8}, b0, b1)
+
+	// Identify the tenant's home backend, then make it pathologically slow.
+	tenant := "tenant-hedge"
+	primaryID := doRun(rt, "saxpy", tenant, "{}", nil).Header().Get("X-Hbc-Backend")
+	var primary, other *stubBackend = b0, b1
+	if primaryID == "b1" {
+		primary, other = b1, b0
+	}
+	primary.setHandler(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done(): // canceled as the hedge loser
+		case <-time.After(5 * time.Second):
+			fmt.Fprint(w, `{"slow":true}`)
+		}
+	})
+
+	// Warm the kernel histogram so the hedge timer arms with a tiny delay.
+	for i := 0; i < 8; i++ {
+		rt.hist("saxpy").Observe(time.Millisecond)
+	}
+
+	w := doRun(rt, "saxpy", tenant, "{}", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Hbc-Backend"); got != other.id {
+		t.Fatalf("winner = %s, want the hedge replica %s", got, other.id)
+	}
+	if w.Header().Get("X-Hbc-Hedged") != "1" {
+		t.Fatal("missing X-Hbc-Hedged marker on a hedge win")
+	}
+	if got := rt.hedgeWins.Load(); got != 1 {
+		t.Fatalf("hedge_wins_total = %d, want 1", got)
+	}
+	// The canceled primary must not be breaker evidence (the satellite
+	// contract: hedged-request cancellation is not a failure).
+	waitCond(t, 2*time.Second, "primary cancel recorded", func() bool {
+		snap := rt.Breaker(primary.id).Snapshot()
+		return snap.WindowFailures == 0 && rt.ring.Load(primary.id) == 0
+	})
+	if snap := rt.Breaker(primary.id).Snapshot(); snap.WindowFailures != 0 {
+		t.Fatalf("slow primary's breaker window = %+v; hedge-loser cancellation counted as failure", snap)
+	}
+}
+
+func TestRouterRejectsOversizedBody(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	rt := newTestRouter(t, Config{MaxBody: 64}, b0)
+	w := doRun(rt, "saxpy", "", strings.Repeat("x", 65), nil)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", w.Code)
+	}
+	if b0.hits.Load() != 0 {
+		t.Fatal("oversized body reached a backend")
+	}
+}
+
+func TestRouterBackoffJitterHonorsRetryAfterHint(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	rt := newTestRouter(t, Config{RetryBase: 10 * time.Millisecond, RetryCap: 50 * time.Millisecond}, b0)
+
+	hint := 2 * time.Second
+	var sawAboveCap bool
+	for i := 0; i < 200; i++ {
+		d := rt.backoff(0, hint)
+		if d <= 0 || d > hint {
+			t.Fatalf("backoff with hint = %v, want in (0, %v]", d, hint)
+		}
+		if d > 50*time.Millisecond {
+			sawAboveCap = true
+		}
+	}
+	if !sawAboveCap {
+		t.Fatal("Retry-After hint never raised the jitter window above RetryCap")
+	}
+	// Without a hint the window stays capped.
+	for i := 0; i < 200; i++ {
+		if d := rt.backoff(10, 0); d <= 0 || d > 50*time.Millisecond {
+			t.Fatalf("backoff without hint = %v, want in (0, 50ms]", d)
+		}
+	}
+}
+
+func TestRouterStatusHandler(t *testing.T) {
+	b0 := newStubBackend(t, "b0")
+	rt := newTestRouter(t, Config{}, b0)
+	doRun(rt, "saxpy", "", "{}", nil)
+
+	w := httptest.NewRecorder()
+	rt.StatusHandler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/status", nil))
+	var status struct {
+		Backends []struct {
+			ID       string `json:"id"`
+			Ready    bool   `json:"ready"`
+			Breaker  string `json:"breaker"`
+			Requests int64  `json:"requests"`
+		} `json:"backends"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &status); err != nil {
+		t.Fatalf("status JSON: %v\n%s", err, w.Body)
+	}
+	if len(status.Backends) != 1 || status.Backends[0].ID != "b0" ||
+		!status.Backends[0].Ready || status.Backends[0].Breaker != "closed" ||
+		status.Backends[0].Requests != 1 {
+		t.Fatalf("status = %+v", status)
+	}
+}
+
+func TestKernelFromPath(t *testing.T) {
+	cases := map[string]string{
+		"/run/saxpy":    "saxpy",
+		"/run/":         "",
+		"/run/a/b":      "",
+		"/healthz":      "",
+		"/metrics":      "",
+		"/run/spmv_csr": "spmv_csr",
+	}
+	for path, want := range cases {
+		if got := kernelFromPath(path); got != want {
+			t.Errorf("kernelFromPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -128,6 +128,11 @@ type Config struct {
 	// analysis facts prove purity (see Pool.Memoize). Kernels without facts
 	// or with effects are served normally.
 	MemoizePure bool
+	// IdemTTL bounds how long a completed run stays answerable from the
+	// idempotency cache (default 30s). It should exceed the longest retry
+	// backoff a well-behaved client applies, so a retried request whose
+	// original ack was lost in transit still dedupes instead of re-running.
+	IdemTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxDeadline <= 0 {
 		c.MaxDeadline = 30 * time.Second
 	}
+	if c.IdemTTL <= 0 {
+		c.IdemTTL = 30 * time.Second
+	}
 	return c
 }
 
@@ -162,6 +170,12 @@ type Request struct {
 	// Deadline bounds queue wait plus execution (0 = Config.DefaultDeadline,
 	// clamped to Config.MaxDeadline).
 	Deadline time.Duration
+	// IdemKey, when non-empty, marks the request idempotent and keys it in
+	// the completed-run cache: if an earlier request with the same key
+	// completed successfully within Config.IdemTTL, its result is returned
+	// without executing the kernel again. This is the server half of the
+	// retry contract — a router may only replay requests that carry a key.
+	IdemKey string
 }
 
 // Result is a completed execution.
@@ -177,6 +191,10 @@ type Result struct {
 	// Memoized reports that the result came from the pure-kernel memo cache
 	// rather than a fresh execution.
 	Memoized bool
+	// Deduped reports that the result was served from the idempotency cache:
+	// an earlier request with the same IdemKey already completed, and this
+	// one did not execute.
+	Deduped bool
 }
 
 type outcome struct {
@@ -186,6 +204,7 @@ type outcome struct {
 
 type request struct {
 	kernel, tenant string
+	idemKey        string
 	ctx            context.Context
 	cancel         context.CancelFunc
 	enq            time.Time
@@ -253,6 +272,9 @@ type Pool struct {
 	// only before Start (Memoize enforces this), so lookups in Do need no
 	// lock; each entry serializes its own fills.
 	memo map[string]*memoEntry
+	// idem is the completed-run cache deduplicating retried idempotent
+	// requests (see Request.IdemKey).
+	idem *idemCache
 
 	started  atomic.Bool
 	draining atomic.Bool
@@ -270,6 +292,7 @@ type Pool struct {
 	tenants  map[string]*tenantStats
 
 	memoHits  atomic.Int64
+	idemHits  atomic.Int64
 	admitted  atomic.Int64
 	shed      atomic.Int64
 	completed atomic.Int64
@@ -287,6 +310,7 @@ func NewPool(cfg Config) *Pool {
 		q:       newFairQueue(cfg.QueueDepth),
 		kernels: make(map[string]bool),
 		memo:    make(map[string]*memoEntry),
+		idem:    newIdemCache(cfg.IdemTTL),
 		drained: make(chan struct{}),
 		active:  make(map[*request]struct{}),
 		tenants: make(map[string]*tenantStats),
@@ -417,6 +441,15 @@ func (p *Pool) Do(ctx context.Context, req Request) (Result, error) {
 			return Result{Value: v, Shard: -1, Memoized: true}, nil
 		}
 	}
+	if req.IdemKey != "" {
+		if v, shard, ok := p.idem.get(req.IdemKey); ok {
+			// A run with this key already completed and was cached: this is
+			// a retry whose original ack was lost. Answer from the cache so
+			// the work executes exactly once.
+			p.idemHits.Add(1)
+			return Result{Value: v, Shard: shard, Deduped: true}, nil
+		}
+	}
 	tenant := req.Tenant
 	if tenant == "" {
 		tenant = "default"
@@ -435,12 +468,13 @@ func (p *Pool) Do(ctx context.Context, req Request) (Result, error) {
 	defer cancel()
 
 	r := &request{
-		kernel: req.Kernel,
-		tenant: tenant,
-		ctx:    rctx,
-		cancel: cancel,
-		enq:    time.Now(),
-		done:   make(chan outcome, 1),
+		kernel:  req.Kernel,
+		tenant:  tenant,
+		idemKey: req.IdemKey,
+		ctx:     rctx,
+		cancel:  cancel,
+		enq:     time.Now(),
+		done:    make(chan outcome, 1),
 	}
 	p.trackActive(r, true)
 	if !p.q.push(r) {
@@ -565,6 +599,12 @@ func (p *Pool) serveOne(s *shard, r *request) {
 		if e := p.memo[r.kernel]; e != nil {
 			e.set(v)
 		}
+		if r.idemKey != "" {
+			// Cache the completion BEFORE acking (the done send below): once
+			// a client can observe the 200, a retry of the same key must hit
+			// the cache rather than re-execute.
+			p.idem.put(r.idemKey, v, s.id)
+		}
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		p.expired.Add(1)
 	default:
@@ -576,6 +616,22 @@ func (p *Pool) serveOne(s *shard, r *request) {
 // Draining reports whether a drain has begun — the bit a /healthz endpoint
 // reflects so load balancers stop routing before in-flight work finishes.
 func (p *Pool) Draining() bool { return p.draining.Load() }
+
+// Ready reports whether the pool can usefully accept another request right
+// now, with a reason when it cannot. Distinct from liveness: a pool that is
+// draining, or whose admission queue is saturated (the next request would be
+// shed), answers not-ready so an upstream router stops routing BEFORE
+// requests start bouncing off the queue. The signal is instantaneous — the
+// router's health checker supplies the hysteresis.
+func (p *Pool) Ready() (bool, string) {
+	if p.draining.Load() {
+		return false, "draining"
+	}
+	if d := p.q.depth(); d >= p.cfg.QueueDepth {
+		return false, fmt.Sprintf("queue saturated (%d/%d)", d, p.cfg.QueueDepth)
+	}
+	return true, "ok"
+}
 
 // Drain shuts the pool down gracefully: stop admitting (Do returns
 // ErrDraining, Draining flips true), let queued and in-flight requests
@@ -641,7 +697,13 @@ type Stats struct {
 	// MemoHits counts requests served from the pure-kernel memo cache;
 	// these never enter the admission queue and are not in Admitted.
 	MemoHits int64
-	// Draining reports drain state.
+	// IdemHits counts requests answered from the idempotency cache (retries
+	// of completed runs); like MemoHits they bypass admission.
+	IdemHits int64
+	// IdemEntries is the idempotency cache's current entry count.
+	IdemEntries int
+	// Ready mirrors Pool.Ready; Draining reports drain state.
+	Ready    bool
 	Draining bool
 }
 
@@ -651,7 +713,9 @@ func (p *Pool) Stats() Stats {
 	for _, s := range p.shards {
 		idle += s.team.IdleWorkers()
 	}
+	ready, _ := p.Ready()
 	return Stats{
+		Ready:       ready,
 		QueueDepth:  p.q.depth(),
 		QueueCap:    p.cfg.QueueDepth,
 		Inflight:    int(p.inflight.Load()),
@@ -663,6 +727,8 @@ func (p *Pool) Stats() Stats {
 		Failed:      p.failed.Load(),
 		Expired:     p.expired.Load(),
 		MemoHits:    p.memoHits.Load(),
+		IdemHits:    p.idemHits.Load(),
+		IdemEntries: p.idem.size(),
 		Draining:    p.draining.Load(),
 	}
 }
@@ -684,6 +750,13 @@ func (p *Pool) registerMetrics(reg *telemetry.Registry) {
 		emit("failed_total", float64(s.Failed))
 		emit("expired_total", float64(s.Expired))
 		emit("memo_hits_total", float64(s.MemoHits))
+		emit("idem_hits_total", float64(s.IdemHits))
+		emit("idem_entries", float64(s.IdemEntries))
+		if s.Ready {
+			emit("ready", 1)
+		} else {
+			emit("ready", 0)
+		}
 		if s.Draining {
 			emit("draining", 1)
 		} else {
