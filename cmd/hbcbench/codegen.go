@@ -1,0 +1,237 @@
+package main
+
+// The -codegen suite: the Fig. 7 machinery-overhead experiment run on both
+// kernel backends, plus an allocation census of the generated slice tasks.
+// This is the number the specialized backend exists to move, so it ships as
+// a pair of gate files for benchgate:
+//
+//	BENCH_codegen_interp.json  overheads on the interpreted closure trees
+//	BENCH_codegen_gen.json     overheads on the generated packages
+//	BENCH_codegen.json         both backends in one committed record
+//
+// CI compares the first two with `benchgate -max-ratio 0.5` (generated
+// machinery overhead must be at most half the interpreted overhead — a
+// >=2x drop) and gates `<kernel>/slice_task` records with -zero-allocs;
+// the combined file is the committed, human-auditable record.
+//
+// Both backends are measured against the SAME serial baseline — the
+// generated RunSerial driver, which is within noise of a hand-written loop
+// — mirroring Figure 7, where overhead is taken over plain serial Go. That
+// way the interpreted column carries the full interpretive tax (closure
+// frames, interface dispatch, generic chunk driver) rather than hiding it
+// in its own inflated baseline.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"hbc/gen"
+	_ "hbc/gen/kernels" // the checked-in generated kernels under test
+	"hbc/internal/core"
+	"hbc/internal/frontend"
+	"hbc/internal/loopnest"
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+	"hbc/internal/stats"
+)
+
+// machineryOpts is Fig. 7's first column: promotion disabled, an
+// effectively infinite static chunk, and (with pulse.NewNever) free polls —
+// every percent over serial is the cost of the inserted machinery alone.
+func machineryOpts() core.Options {
+	return core.Options{
+		DisablePromotion: true,
+		Chunk:            core.ChunkPolicy{Kind: core.ChunkStatic, Size: 1 << 30},
+	}
+}
+
+// runCodegen measures machinery overhead for every registered generated
+// kernel on both backends and writes the two gate suites into jsonDir.
+func runCodegen(kernelDir string, runs int, jsonDir string) error {
+	names := gen.Kernels()
+	if len(names) == 0 {
+		return fmt.Errorf("no generated kernels registered; emit with `hbcc -emit-go` and check in under gen/kernels")
+	}
+	interp := &stats.BenchSuite{Suite: "codegen-interp", GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Workers: 1}
+	genSuite := &stats.BenchSuite{Suite: "codegen-gen", GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Workers: 1}
+	combined := &stats.BenchSuite{Suite: "codegen", GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Workers: 1}
+
+	tb := stats.NewTable("Machinery overhead over specialized serial, promotion disabled (%)",
+		"kernel", "interp%", "generated%", "drop")
+	for _, name := range names {
+		gk, _ := gen.Lookup(name)
+		path := filepath.Join(kernelDir, name+".hbk")
+		serial, oi, og, err := measureKernelOverhead(gk, path, runs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		drop := "n/a"
+		if og > 0 {
+			drop = fmt.Sprintf("%.1fx", oi/og)
+		}
+		tb.Row(name, oi, og, drop)
+		interp.Benchmarks = append(interp.Benchmarks, stats.BenchRecord{
+			Name: name + "/machinery_overhead_pct", NsPerOp: oi, N: runs,
+			Extra: map[string]float64{"serial_ns": float64(serial.Nanoseconds())},
+		})
+		genSuite.Benchmarks = append(genSuite.Benchmarks, stats.BenchRecord{
+			Name: name + "/machinery_overhead_pct", NsPerOp: og, N: runs,
+			Extra: map[string]float64{"serial_ns": float64(serial.Nanoseconds())},
+		})
+		combined.Benchmarks = append(combined.Benchmarks,
+			stats.BenchRecord{Name: name + "/machinery_overhead_interp_pct", NsPerOp: oi, N: runs},
+			stats.BenchRecord{Name: name + "/machinery_overhead_gen_pct", NsPerOp: og, N: runs,
+				Extra: map[string]float64{"serial_ns": float64(serial.Nanoseconds())}})
+
+		rec, err := benchSliceTask(gk)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		genSuite.Benchmarks = append(genSuite.Benchmarks, rec)
+		combined.Benchmarks = append(combined.Benchmarks, rec)
+		fmt.Printf("%-10s slice task: %.1f ns/op, %d allocs/op\n", name, rec.NsPerOp, rec.AllocsPerOp)
+	}
+	fmt.Println(tb.String())
+
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		for _, s := range []struct {
+			suite *stats.BenchSuite
+			file  string
+		}{
+			{interp, "BENCH_codegen_interp.json"},
+			{genSuite, "BENCH_codegen_gen.json"},
+			{combined, "BENCH_codegen.json"},
+		} {
+			p := filepath.Join(jsonDir, s.file)
+			if err := s.suite.WriteFile(p); err != nil {
+				return err
+			}
+			fmt.Printf("(json: %s)\n", p)
+		}
+	}
+	return nil
+}
+
+// measureKernelOverhead returns the specialized serial baseline and the
+// machinery overhead percentages of the interpreted and generated backends.
+// The on-disk source must match the artifact's SourceSHA: the interpreted
+// side is compiled from that source, so a stale artifact would make the two
+// columns measure different programs.
+func measureKernelOverhead(gk *gen.Kernel, path string, runs int) (serial time.Duration, interpPct, genPct float64, err error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sum := sha256.Sum256(src)
+	if sha := hex.EncodeToString(sum[:]); sha != gk.SourceSHA {
+		return 0, 0, 0, fmt.Errorf("artifact is stale: source %s, artifact built from %s (re-run hbcc -emit-go)", sha, gk.SourceSHA)
+	}
+	k, err := frontend.ParseFile(path, string(src))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c, err := frontend.Compile(k)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	envG := gk.NewEnv()
+
+	median := func(reset func(), fn func()) time.Duration {
+		fn() // warmup
+		ds := make([]time.Duration, runs)
+		for i := range ds {
+			reset()
+			t0 := time.Now()
+			fn()
+			ds[i] = time.Since(t0)
+		}
+		return stats.Median(ds)
+	}
+
+	serial = median(envG.Reset, func() { gk.RunSerial(envG) })
+
+	machinery := func(nest *loopnest.Nest, env interface{ Reset() }) (time.Duration, error) {
+		prog, err := core.Compile(nest, machineryOpts())
+		if err != nil {
+			return 0, err
+		}
+		team := sched.NewTeam(1)
+		defer team.Close()
+		x := core.NewExec(prog, team, pulse.NewNever(), 100*time.Microsecond, env)
+		x.Start()
+		defer x.Stop()
+		return median(env.Reset, func() { x.Run() }), nil
+	}
+
+	di, err := machinery(c.Nest, c.Env)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dg, err := machinery(gk.Nest(envG), envG)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pct := func(d time.Duration) float64 {
+		return 100 * (float64(d) - float64(serial)) / float64(serial)
+	}
+	return serial, pct(di), pct(dg), nil
+}
+
+// benchSliceTask drives a generated kernel's first slice task directly —
+// the function the heartbeat executor calls on the hot path — through a
+// static SliceRT, and reports its allocation count. This is the record the
+// -zero-allocs gate checks: the specialized backend's whole point is that
+// steady-state slice execution touches no heap.
+func benchSliceTask(gk *gen.Kernel) (stats.BenchRecord, error) {
+	env := gk.NewEnv()
+	nest := gk.Nest(env)
+
+	// Walk down the leftmost spine to the first leaf, collecting the
+	// outermost iteration's index at each interior level.
+	idx := make([]int64, 0, 8)
+	l := nest.Root
+	for !l.Leaf() {
+		lo, hi := l.Bounds(env, idx)
+		if lo >= hi {
+			return stats.BenchRecord{}, fmt.Errorf("empty interior loop %s", l.Name)
+		}
+		idx = append(idx, lo)
+		l = l.Children[0]
+	}
+	if l.Slice == nil {
+		return stats.BenchRecord{}, fmt.Errorf("leaf %s has no slice task", l.Name)
+	}
+	lo, hi := l.Bounds(env, idx)
+	if lo >= hi {
+		return stats.BenchRecord{}, fmt.Errorf("empty leaf loop %s", l.Name)
+	}
+	var acc any
+	if l.Reduce != nil {
+		acc = l.Reduce.Fresh()
+	}
+	rt := gen.NewStaticRT(64)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for iv := lo; iv < hi; {
+				iv = l.Slice(env, idx, iv, hi, acc, rt)
+			}
+		}
+	})
+	return stats.BenchRecord{
+		Name:        gk.Name + "/slice_task",
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}, nil
+}

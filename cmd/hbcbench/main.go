@@ -50,6 +50,8 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each figure's table as CSV into this directory")
 		jsonDir   = flag.String("json", "", "write machine-readable BENCH_*.json artifacts into this directory")
 		schedRun  = flag.Bool("sched", false, "run the scheduler microbenchmark suite")
+		codegen   = flag.Bool("codegen", false, "run the interpreted-vs-generated machinery overhead suite")
+		kernelDir = flag.String("kernels", "kernels", "with -codegen: directory holding the .hbk sources")
 	)
 	flag.Parse()
 
@@ -78,6 +80,10 @@ func main() {
 		}
 	case *schedRun:
 		if err := runSched(*workers, *jsonDir); err != nil {
+			fatal(err)
+		}
+	case *codegen:
+		if err := runCodegen(*kernelDir, *runs, *jsonDir); err != nil {
 			fatal(err)
 		}
 	case *all:

@@ -10,6 +10,14 @@
 //	hbcc -workers 8 -heartbeat 100us -runs 3 kernels/escape.hbk
 //	hbcc -emit kernels/spmv.hbk     # print the compiled nest and exit
 //	hbcc -checked kernels/spmv.hbk  # guard subscripts the analyzer can't prove
+//	hbcc -emit-go kernels/spmv.hbk  # emit the specialized Go package (internal/codegen)
+//	hbcc -gen kernels/spmv.hbk      # run the checked-in generated backend instead
+//
+// -emit-go prints the generated package to stdout; -o writes it to a file
+// (path ending in .go) or into <dir>/<name>gen/<name>_gen.go. -gen runs a
+// kernel through its registered generated package (gen/kernels), verifying
+// the artifact's source SHA first so a stale artifact never silently
+// shadows the interpreter.
 //
 // Before compiling, hbcc statically verifies the kernel's `parallel for`
 // annotations (internal/analysis): proven races reject the kernel,
@@ -47,6 +55,9 @@ func main() {
 		trace     = flag.Bool("trace", false, "print the promotion timeline after the run")
 		vet       = flag.Bool("vet", true, "statically verify DOALL safety before running")
 		checked   = flag.Bool("checked", false, "compile with runtime bounds guards, skipping accesses the analyzer proves safe")
+		emitGo    = flag.Bool("emit-go", false, "emit a specialized Go package for the kernel and exit")
+		outPath   = flag.String("o", "", "with -emit-go: output .go file, or directory to create <name>gen/ under (default stdout)")
+		useGen    = flag.Bool("gen", false, "run the kernel through its registered generated package instead of the interpreter")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -76,7 +87,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *emitGo {
+		if *checked {
+			fmt.Fprintln(os.Stderr, "hbcc: -emit-go and -checked are incompatible: generated code elides exactly the guards -checked inserts")
+			os.Exit(2)
+		}
+		emitGoPackage(file, src, *outPath)
+		return
+	}
 	facts := analysis.BuildFacts(file, k)
+	if *useGen {
+		runGenerated(k, src, facts, *workers, *heartbeat, *runs, *trace)
+		return
+	}
 	var fopts frontend.Options
 	if *checked {
 		fopts = frontend.Options{CheckBounds: true, Oracle: facts}
@@ -118,7 +141,7 @@ func main() {
 	}
 
 	serial := median(func() { prog.RunSeq(c.Env) })
-	serialSums := checksums(c)
+	serialSums := checksums(c.Env, outputNames(c.Kernel))
 
 	team := sched.NewTeam(*workers)
 	defer team.Close()
@@ -126,7 +149,7 @@ func main() {
 	x.Start()
 	defer x.Stop()
 	hb := median(func() { x.Run() })
-	hbSums := checksums(c)
+	hbSums := checksums(c.Env, outputNames(c.Kernel))
 
 	tb := stats.NewTable(fmt.Sprintf("%s on %d workers (median of %d)", k.Name, *workers, *runs),
 		"engine", "time", "speedup")
@@ -148,16 +171,24 @@ func main() {
 	}
 }
 
+// arrayEnv is the accessor surface shared by the interpreter's
+// frontend.Env and generated packages' Env types, letting checksums treat
+// both backends uniformly.
+type arrayEnv interface {
+	FloatArray(name string) ([]float64, bool)
+	IntArray(name string) ([]int64, bool)
+}
+
 // checksums sums each declared output array for a cheap equality check.
-func checksums(c *frontend.Compiled) map[string]float64 {
+func checksums(env arrayEnv, names []string) map[string]float64 {
 	out := map[string]float64{}
-	for _, name := range outputNames(c) {
+	for _, name := range names {
 		var s float64
-		if a, ok := c.Env.FloatArray(name); ok {
+		if a, ok := env.FloatArray(name); ok {
 			for _, v := range a {
 				s += v
 			}
-		} else if a, ok := c.Env.IntArray(name); ok {
+		} else if a, ok := env.IntArray(name); ok {
 			for _, v := range a {
 				s += float64(v)
 			}
@@ -167,9 +198,9 @@ func checksums(c *frontend.Compiled) map[string]float64 {
 	return out
 }
 
-func outputNames(c *frontend.Compiled) []string {
+func outputNames(k *frontend.Kernel) []string {
 	var names []string
-	for _, d := range c.Kernel.Decls {
+	for _, d := range k.Decls {
 		if a, ok := d.(*frontend.ArrayDecl); ok {
 			names = append(names, a.Name)
 		}

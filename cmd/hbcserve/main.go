@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"hbc"
+	_ "hbc/gen/kernels" // registry for serve.KernelAuto's generated path
 	"hbc/internal/serve"
 	"hbc/internal/telemetry"
 )
@@ -346,7 +347,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // loadKernels registers every loadable .hbk under dir, returning the names
 // loaded and the count skipped (parse/vet/compile failures are reported and
-// skipped, so a corpus may carry known-bad fixtures).
+// skipped, so a corpus may carry known-bad fixtures). Registration goes
+// through serve.KernelAuto, so kernels with a current generated artifact
+// (gen/kernels) serve on the specialized backend automatically.
 func loadKernels(pool *serve.Pool, dir string) (loaded []string, skipped int) {
 	seen := map[string]bool{}
 	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
@@ -360,7 +363,7 @@ func loadKernels(pool *serve.Pool, dir string) (loaded []string, skipped int) {
 			return nil
 		}
 		seen[name] = true
-		if regErr := pool.Register(name, serve.KernelFile(path)); regErr != nil {
+		if regErr := pool.Register(name, serve.KernelAuto(path)); regErr != nil {
 			fmt.Fprintf(os.Stderr, "hbcserve: skipping %s: %v\n", path, regErr)
 			skipped++
 			return nil

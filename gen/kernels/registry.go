@@ -1,0 +1,17 @@
+// Package kernels links every checked-in generated kernel package into one
+// import: a driver that blank-imports hbc/gen/kernels gets the full
+// registry (hbc/gen) populated by each package's init.
+//
+// The packages below are emitted by `hbcc -emit-go` from the sources under
+// kernels/ and checked in; internal/codegen's staleness test re-emits each
+// source and fails if the bytes here drift from what the current emitter
+// produces.
+package kernels
+
+import (
+	_ "hbc/gen/kernels/dotnormgen"
+	_ "hbc/gen/kernels/escapegen"
+	_ "hbc/gen/kernels/powersumgen"
+	_ "hbc/gen/kernels/spmvgen"
+	_ "hbc/gen/kernels/stencilgen"
+)

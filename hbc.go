@@ -84,6 +84,12 @@ type (
 	Loop = loopnest.Loop
 	// Reduction declares an associative combine across a loop's iterations.
 	Reduction = loopnest.Reduction
+	// Slice is the monomorphic leaf task entry used by generated kernels
+	// (internal/codegen): a specialized chunking loop the executor calls
+	// instead of the generic per-chunk driver around Body.
+	Slice = loopnest.Slice
+	// SliceRT is the runtime interface a Slice polls at chunk boundaries.
+	SliceRT = loopnest.SliceRT
 )
 
 // Signal selects the heartbeat delivery mechanism (paper §4–§5).

@@ -1,0 +1,54 @@
+package codegen
+
+// Build compiles an emitted artifact out of tree with the real Go
+// toolchain: the end-to-end check that generated packages stand alone on
+// the public hbc surface (hbc + hbc/gen), with no reach into internal
+// packages. It is used by hbcc -emit-go's -check flow and the codegen
+// smoke tests; the hot serving path uses the checked-in packages compiled
+// into the binary instead.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Build writes the artifact into workDir as its own module, wires a
+// `replace` directive at hbcRoot (the repository root containing go.mod
+// for module hbc), and runs `go vet` and `go build` over it. The build is
+// fully offline: the only dependency is the hbc module itself, resolved
+// through the replace directive. Returns the package directory on success.
+func Build(a *Artifact, workDir, hbcRoot string) (string, error) {
+	absRoot, err := filepath.Abs(hbcRoot)
+	if err != nil {
+		return "", fmt.Errorf("codegen: resolving hbc root: %w", err)
+	}
+	pkgDir := filepath.Join(workDir, a.PackageName)
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		return "", fmt.Errorf("codegen: creating package dir: %w", err)
+	}
+	gomod := fmt.Sprintf(
+		"module %s_check\n\ngo 1.22\n\nrequire hbc v0.0.0\n\nreplace hbc => %s\n",
+		a.PackageName, absRoot)
+	if err := os.WriteFile(filepath.Join(workDir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		return "", fmt.Errorf("codegen: writing go.mod: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, a.FileName), a.Code, 0o644); err != nil {
+		return "", fmt.Errorf("codegen: writing %s: %w", a.FileName, err)
+	}
+	for _, args := range [][]string{
+		{"vet", "./..."},
+		{"build", "./..."},
+	} {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = workDir
+		// GOFLAGS=-mod=mod lets the toolchain synthesize go.sum-free module
+		// graphs for the lone replaced dependency without touching the network.
+		cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return "", fmt.Errorf("codegen: go %s: %w\n%s", args[0], err, out)
+		}
+	}
+	return pkgDir, nil
+}

@@ -1,0 +1,30 @@
+package codegen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestBuildOutOfTree emits spmv and compiles it as a standalone module
+// against the repository through codegen.Build — proving generated
+// packages stand alone on the public hbc surface (hbc + hbc/gen) with no
+// reach into internal packages.
+func TestBuildOutOfTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go-toolchain build")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	a := emitKernel(t, "spmv")
+	work := t.TempDir()
+	pkgDir, err := Build(a, work, filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(pkgDir, a.FileName)); err != nil {
+		t.Fatalf("built package missing source: %v", err)
+	}
+}

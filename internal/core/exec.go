@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"hbc/internal/loopnest"
 	"hbc/internal/pulse"
 	"hbc/internal/sched"
 	"hbc/internal/telemetry"
@@ -294,6 +295,11 @@ type taskRun struct {
 	// latchBudget counts down interior-latch visits until the next poll
 	// (Options.LatchPollEvery batching).
 	latchBudget int64
+	// srt holds one SliceRT per leaf for programs with monomorphic Slice
+	// entries (nil otherwise). Entries reference this taskRun by pointer,
+	// so the scaffolding is built once per taskRun and survives pooling —
+	// a slice-task invocation allocates nothing.
+	srt []sliceRT
 	// accPool holds a reusable accumulator per loop ordinal, so reductions
 	// do not allocate per iteration. Entries are surrendered (nil'd) when a
 	// promotion hands them to a leftover task.
@@ -316,8 +322,26 @@ func newTaskRun(x *Exec, w *sched.Worker) *taskRun {
 		childAccs: make([][]any, p.depth),
 	}
 	ts.latchBudget = p.opts.LatchPollEvery
+	if p.hasSlice {
+		ts.srt = make([]sliceRT, len(p.leaves))
+		for ord := range ts.srt {
+			ts.srt[ord] = sliceRT{ts: ts, ord: ord}
+		}
+	}
 	return ts
 }
+
+// sliceRT adapts a taskRun to the loopnest.SliceRT interface for one leaf.
+// Passed as *sliceRT, so the interface conversion does not allocate.
+type sliceRT struct {
+	ts  *taskRun
+	ord int
+}
+
+func (rt *sliceRT) Budget() *int64 { return &rt.ts.budget[rt.ord] }
+func (rt *sliceRT) Chunk() int64   { return rt.ts.chunkFor(rt.ord) }
+func (rt *sliceRT) Poll() bool     { return rt.ts.poll(rt.ord) }
+func (rt *sliceRT) Aborted() bool  { return rt.ts.aborted() }
 
 // getTaskRun returns a taskRun for a promoted slice or leftover task,
 // recycled from the pool when possible. The caller installs ctl and adopts a
@@ -582,6 +606,9 @@ func (ts *taskRun) runLeaf(l *cloop) int {
 	if ts.x.prog.opts.TraceChunks {
 		ts.x.recordChunk(ord, ts.outermostIdx(), ts.chunkFor(ord))
 	}
+	if sl := l.spec.Slice; sl != nil {
+		return ts.runLeafSlice(l, sl, e, acc, idx)
+	}
 	for e.iv < e.hi {
 		// Leaf safepoint: a cancelled run abandons the rest of the
 		// invocation at the chunk boundary, where the heartbeat poll sits.
@@ -613,6 +640,39 @@ func (ts *taskRun) runLeaf(l *cloop) int {
 					return noPromo
 				}
 			}
+		}
+	}
+	return noPromo
+}
+
+// runLeafSlice drives a leaf through its monomorphic Slice entry: the slice
+// owns the chunking loop (budget bookkeeping, chunk-size transferring, and
+// heartbeat polls inlined at its loop body), and returns the next unstarted
+// iteration. A return before hi means the slice stopped at a promotion-ready
+// point — rt.Poll detected a heartbeat, or the run was cancelled — so this
+// driver only runs the promotion handler and re-enters. The generic
+// per-chunk driver below stays entirely off the hot path.
+func (ts *taskRun) runLeafSlice(l *cloop, sl loopnest.Slice, e *lst, acc any, idx []int64) int {
+	lvl := l.id.Level
+	env := ts.x.env
+	rt := &ts.srt[l.leafOrd]
+	for e.iv < e.hi {
+		if ts.aborted() {
+			return noPromo
+		}
+		ts.cur = l
+		e.iv = sl(env, idx, e.iv, e.hi, acc, rt)
+		if e.iv >= e.hi {
+			break
+		}
+		if ts.aborted() {
+			return noPromo
+		}
+		if pl := ts.x.promote(ts, l); pl != noPromo {
+			if pl < lvl {
+				return pl
+			}
+			return noPromo
 		}
 	}
 	return noPromo

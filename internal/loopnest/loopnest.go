@@ -41,6 +41,45 @@ type Hook func(env any, idx []int64, acc any)
 // without a Reduce). acc is as in Body.
 type PostHook func(env any, idx []int64, acc any, children []any)
 
+// SliceRT is the runtime interface handed to a monomorphic Slice task entry
+// (see Slice). It exposes exactly the per-task state the chunking
+// transformation needs — the leaf's private iteration budget R (which
+// transfers across invocations of the same leaf within a task), the current
+// chunk size, and the heartbeat/cancellation polls — without the generic
+// driver's closure frames. The runtime passes a pooled implementation; the
+// slice must not retain it beyond the call.
+type SliceRT interface {
+	// Budget returns the leaf's private budget counter R. The slice reads
+	// the residue on entry and writes the remainder back before returning,
+	// so a partially finished chunk carries into the task's next invocation
+	// of the same leaf (chunk-size transferring, paper §3.2).
+	Budget() *int64
+	// Chunk returns the chunk size currently in force for this leaf.
+	Chunk() int64
+	// Poll checks the heartbeat source at a promotion-ready point. A true
+	// return means a heartbeat arrived: the slice must store its state and
+	// return its induction variable so the runtime can run the promotion
+	// handler.
+	Poll() bool
+	// Aborted reports run cancellation; checked at the same chunk
+	// boundaries as Poll.
+	Aborted() bool
+}
+
+// Slice is the monomorphic task entry of a leaf loop: a specialized
+// (typically generated) function that executes iterations of [iv, hi) in
+// chunks, polling rt at every chunk boundary, and returns the next
+// unstarted iteration. Returning a value < hi means the slice stopped at a
+// promotion-ready point (rt.Poll returned true) or observed rt.Aborted;
+// the runtime then promotes and re-enters. Unlike Body, a Slice owns the
+// whole chunking loop, so the runtime's generic per-chunk driver — and its
+// per-call closure frames — stay off the hot path entirely.
+//
+// env, idx, and acc follow the Body contract. A Slice is an optional fast
+// path: the leaf must still define Body, which the serial elision
+// (RunSeq/RunStatic) and any non-slice-aware driver keep using.
+type Slice func(env any, idx []int64, iv, hi int64, acc any, rt SliceRT) int64
+
 // Reduction declares that a loop combines values across its iterations.
 // Heartbeat promotions may split the loop's range across tasks; each task
 // then accumulates into a private accumulator and the runtime merges them at
@@ -66,6 +105,11 @@ type Loop struct {
 	Bounds Bounds
 	// Body is the leaf computation. Set only on leaves.
 	Body Body
+	// Slice, if non-nil, is the leaf's monomorphic task entry: a
+	// specialized chunking loop the heartbeat executor calls instead of the
+	// generic chunk driver around Body. Leaves only, and Body is still
+	// required (the serial drivers use it).
+	Slice Slice
 	// Children are the directly nested DOALL loops, executed sequentially
 	// within each iteration. Set only on interior loops.
 	Children []*Loop
@@ -100,6 +144,7 @@ var (
 	ErrSharedLoop = errors.New("loopnest: loop appears more than once in the nest")
 	ErrTooDeep    = errors.New("loopnest: nest exceeds maximum depth")
 	ErrNilChild   = errors.New("loopnest: nil child loop")
+	ErrSliceShape = errors.New("loopnest: Slice requires a leaf loop with a Body")
 )
 
 // MaxDepth bounds the nesting depth the runtime supports. The paper's
@@ -134,6 +179,9 @@ func (n *Nest) Validate() error {
 		}
 		if hasBody && (l.Pre != nil || l.Post != nil) {
 			return fmt.Errorf("%w: %q", ErrLeafHooks, l.Name)
+		}
+		if l.Slice != nil && !hasBody {
+			return fmt.Errorf("%w: %q", ErrSliceShape, l.Name)
 		}
 		if r := l.Reduce; r != nil && (r.Fresh == nil || r.Merge == nil) {
 			return fmt.Errorf("%w: %q", ErrBadReduce, l.Name)

@@ -43,6 +43,8 @@ func TestValidateRejections(t *testing.T) {
 	badReduce := leaf("br")
 	badReduce.Reduce = &Reduction{}
 	shared := leaf("s")
+	interiorSlice := interior("is", leaf("k"))
+	interiorSlice.Slice = func(any, []int64, int64, int64, any, SliceRT) int64 { return 0 }
 
 	cases := []struct {
 		name string
@@ -57,6 +59,7 @@ func TestValidateRejections(t *testing.T) {
 		{"bad reduce", &Nest{Root: badReduce}, ErrBadReduce},
 		{"shared loop", &Nest{Root: interior("o", shared, shared)}, ErrSharedLoop},
 		{"nil child", &Nest{Root: interior("o", nil)}, ErrNilChild},
+		{"interior slice", &Nest{Root: interiorSlice}, ErrSliceShape},
 	}
 	for _, c := range cases {
 		err := c.nest.Validate()

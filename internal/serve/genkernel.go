@@ -1,0 +1,77 @@
+package serve
+
+// Generated-backend integration: KernelAuto routes a kernel file to its
+// checked-in specialized Go package (gen/kernels, emitted by
+// `hbcc -emit-go`) when one is registered and current, and falls back to
+// the interpreted closure-tree path otherwise. Both backends load through
+// the same Team/Runner machinery, so the pool treats them identically.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+
+	"hbc"
+	"hbc/gen"
+	"hbc/internal/analysis"
+	"hbc/internal/frontend"
+)
+
+// genRunnable adapts a registered generated kernel to Runnable: reset the
+// shard-local environment, then run the monomorphic nest under the request
+// context. Like kernelRunnable it carries the kernel's analysis facts
+// (FactsProvider) so the pool can gate memoization on proven purity — the
+// facts are the ones baked into the artifact at emit time.
+type genRunnable struct {
+	r     *hbc.Runner
+	env   gen.Env
+	facts *analysis.Facts
+}
+
+func (g *genRunnable) RunCtx(ctx context.Context) (any, error) {
+	g.env.Reset()
+	return g.r.RunCtx(ctx)
+}
+
+func (g *genRunnable) Close() { g.r.Close() }
+
+func (g *genRunnable) Facts() *analysis.Facts { return g.facts }
+
+// KernelAuto returns a BuildFunc that serves the kernel through its
+// generated package when the registry (hbc/gen) holds an artifact whose
+// SourceSHA matches the file on disk, and through KernelFile's interpreted
+// path otherwise. A stale artifact — registered name but mismatched SHA —
+// falls back rather than erroring, so editing a kernel never breaks
+// serving; re-emit to regain the specialized path.
+func KernelAuto(path string) BuildFunc {
+	interpreted := KernelFile(path)
+	return func(shard int, team *hbc.Team) (Runnable, error) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		k, err := frontend.ParseFile(path, string(src))
+		if err != nil {
+			return nil, err
+		}
+		gk, ok := gen.Lookup(k.Name)
+		if !ok {
+			return interpreted(shard, team)
+		}
+		sum := sha256.Sum256(src)
+		if hex.EncodeToString(sum[:]) != gk.SourceSHA {
+			return interpreted(shard, team)
+		}
+		facts, err := gk.Facts()
+		if err != nil {
+			return nil, err
+		}
+		env := gk.NewEnv()
+		prog, err := hbc.Compile(gk.Nest(env), hbc.Config{Facts: facts})
+		if err != nil {
+			return nil, err
+		}
+		return &genRunnable{r: team.Load(prog, env), env: env, facts: facts}, nil
+	}
+}
