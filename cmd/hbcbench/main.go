@@ -50,6 +50,7 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each figure's table as CSV into this directory")
 		jsonDir   = flag.String("json", "", "write machine-readable BENCH_*.json artifacts into this directory")
 		schedRun  = flag.Bool("sched", false, "run the scheduler microbenchmark suite")
+		policyRun = flag.Bool("policy", false, "run the schedule-policy matrix over the TPAL set")
 		codegen   = flag.Bool("codegen", false, "run the interpreted-vs-generated machinery overhead suite")
 		kernelDir = flag.String("kernels", "kernels", "with -codegen: directory holding the .hbk sources")
 	)
@@ -80,6 +81,10 @@ func main() {
 		}
 	case *schedRun:
 		if err := runSched(*workers, *jsonDir); err != nil {
+			fatal(err)
+		}
+	case *policyRun:
+		if err := runPolicy(cfg, *jsonDir); err != nil {
 			fatal(err)
 		}
 	case *codegen:
@@ -184,6 +189,147 @@ func runSched(workers int, jsonDir string) error {
 		fmt.Printf("(json: %s)\n", path)
 	}
 	return nil
+}
+
+// runPolicy times every TPAL-set benchmark under every schedule in the
+// catalog. With -json it writes three artifacts: BENCH_policy.json (the
+// full bench/policy matrix, report-only), plus BENCH_policy_ac.json and
+// BENCH_policy_auto.json — the adaptive baseline and the online selector
+// measured in the SAME run, named identically so cmd/benchgate can ratio-
+// gate auto against adaptive. The auto runs also assert the selector
+// locked a winner; a selector still profiling after the measurement would
+// make the auto numbers meaningless.
+func runPolicy(cfg harness.Config, jsonDir string) error {
+	names := schedulePolicyNames()
+	// The selector needs one whole-nest run per candidate (ProfileRuns is
+	// forced to 1 below) before it locks; measure at least 3 runs past that.
+	autoRuns := len(names) - 1 + 3
+	if cfg.Runs > autoRuns {
+		autoRuns = cfg.Runs
+	}
+
+	newSuite := func(suite string) *stats.BenchSuite {
+		return &stats.BenchSuite{
+			Suite:   suite,
+			GoOS:    runtime.GOOS,
+			GoArch:  runtime.GOARCH,
+			Workers: cfg.Workers,
+		}
+	}
+	matrix := newSuite("policy")
+	acSuite := newSuite("policy-pair")
+	autoSuite := newSuite("policy-pair")
+
+	tb := stats.NewTable(fmt.Sprintf("schedule-policy matrix (scale %.2f, %d workers, median of %d)",
+		cfg.Scale, cfg.Workers, cfg.Runs),
+		append([]string{"bench"}, names...)...)
+	for _, bench := range workloads.TPALSet() {
+		w, err := workloads.New(bench)
+		if err != nil {
+			return err
+		}
+		w.Prepare(cfg.Scale)
+		row := []any{bench}
+		for _, pol := range names {
+			kind, err := core.ParseChunkKind(pol)
+			if err != nil {
+				return err
+			}
+			runs := cfg.Runs
+			if kind == core.ChunkAuto {
+				runs = autoRuns
+			}
+			team := sched.NewTeam(cfg.Workers)
+			drv := workloads.NewDriver(team, pulse.NewTimer(), cfg.Heartbeat, core.Options{
+				Chunk: core.ChunkPolicy{Kind: kind, ProfileRuns: 1},
+			})
+			if err := w.BindHBC(drv); err != nil {
+				return err
+			}
+			ds := make([]time.Duration, runs)
+			for i := range ds {
+				t0 := time.Now()
+				w.RunHBC(drv)
+				ds[i] = time.Since(t0)
+			}
+			if cfg.Verify {
+				if err := w.Verify(); err != nil {
+					drv.Close()
+					team.Close()
+					return fmt.Errorf("%s under %s: %w", bench, pol, err)
+				}
+			}
+			if kind == core.ChunkAuto {
+				st, ok := drv.Execs()[0].SelectorState()
+				if !ok {
+					drv.Close()
+					team.Close()
+					return fmt.Errorf("%s: auto policy exposes no selector state", bench)
+				}
+				if !st.Locked {
+					drv.Close()
+					team.Close()
+					return fmt.Errorf("%s: selector not locked after %d runs (profiled %d of %v)",
+						bench, runs, st.Profiled, st.Candidates)
+				}
+			}
+			drv.Close()
+			team.Close()
+
+			med := stats.Median(ds)
+			row = append(row, med)
+			rec := stats.BenchRecord{
+				Name:    bench + "/" + pol,
+				NsPerOp: float64(med.Nanoseconds()),
+				N:       runs,
+			}
+			matrix.Benchmarks = append(matrix.Benchmarks, rec)
+			pair := stats.BenchRecord{Name: bench, NsPerOp: rec.NsPerOp, N: runs}
+			switch kind {
+			case core.ChunkAdaptive:
+				acSuite.Benchmarks = append(acSuite.Benchmarks, pair)
+			case core.ChunkAuto:
+				autoSuite.Benchmarks = append(autoSuite.Benchmarks, pair)
+			}
+			if cfg.Out != nil {
+				fmt.Fprintf(cfg.Out, "policy %s/%s: %v\n", bench, pol, med)
+			}
+		}
+		tb.Row(row...)
+	}
+	fmt.Println(tb.String())
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		for _, out := range []struct {
+			name  string
+			suite *stats.BenchSuite
+		}{
+			{"BENCH_policy.json", matrix},
+			{"BENCH_policy_ac.json", acSuite},
+			{"BENCH_policy_auto.json", autoSuite},
+		} {
+			path := filepath.Join(jsonDir, out.name)
+			if err := out.suite.WriteFile(path); err != nil {
+				return err
+			}
+			fmt.Printf("(json: %s)\n", path)
+		}
+	}
+	return nil
+}
+
+// schedulePolicyNames is the benchmark catalog: every schedule except
+// "none" (the unchunked baseline measured by the figures, not a policy).
+func schedulePolicyNames() []string {
+	var out []string
+	for _, n := range core.ScheduleNames() {
+		if n != "none" {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // runBench times one benchmark under serial, OpenMP dynamic, and HBC.

@@ -8,6 +8,7 @@
 //
 //	hbcserve -kernels kernels                       # serve on :8077
 //	hbcserve -shards 4 -workers 2 -queue 64
+//	hbcserve -policy-file tuned.json                # per-kernel schedules
 //
 // API:
 //
@@ -59,6 +60,7 @@ import (
 	_ "hbc/gen/kernels" // registry for serve.KernelAuto's generated path
 	"hbc/internal/serve"
 	"hbc/internal/telemetry"
+	"hbc/internal/tunefile"
 )
 
 func main() {
@@ -76,8 +78,20 @@ func main() {
 		finalSnap = flag.String("final-snapshot", "", "write the final post-drain registry snapshot (expvar JSON) to this file")
 		leakGrace = flag.Duration("leak-grace", 3*time.Second, "how long to wait for goroutines to settle before the leak check")
 		maxBody   = flag.Int64("max-body", 1<<20, "request body byte limit; oversized POSTs get 413")
+		policyF   = flag.String("policy-file", "", "tunefile of per-kernel scheduling policies (from hbctune -policies -save)")
 	)
 	flag.Parse()
+
+	var tuned *tunefile.File
+	if *policyF != "" {
+		f, err := tunefile.Load(*policyF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbcserve:", err)
+			os.Exit(2)
+		}
+		tuned = f
+		fmt.Printf("hbcserve: loaded %d tuned polic(ies) from %s\n", len(f.Kernels), *policyF)
+	}
 
 	// Goroutine baseline for the post-drain leak check, captured before any
 	// serving machinery exists. signal.Notify (below) starts one permanent
@@ -105,7 +119,7 @@ func main() {
 		Registry:        reg,
 	})
 
-	loaded, skipped := loadKernels(pool, *kernelDir)
+	loaded, skipped := loadKernels(pool, *kernelDir, tuned)
 	if len(loaded) == 0 {
 		fmt.Fprintf(os.Stderr, "hbcserve: no loadable kernels in %s\n", *kernelDir)
 		os.Exit(2)
@@ -117,6 +131,12 @@ func main() {
 	}
 	fmt.Println()
 	pool.Start()
+	scheds := pool.Schedules()
+	for _, name := range pool.Kernels() {
+		if s, ok := scheds[name]; ok {
+			fmt.Printf("hbcserve: kernel %s schedule=%s\n", name, s)
+		}
+	}
 
 	mux := newMux(pool, reg, *maxBody)
 
@@ -349,8 +369,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // loaded and the count skipped (parse/vet/compile failures are reported and
 // skipped, so a corpus may carry known-bad fixtures). Registration goes
 // through serve.KernelAuto, so kernels with a current generated artifact
-// (gen/kernels) serve on the specialized backend automatically.
-func loadKernels(pool *serve.Pool, dir string) (loaded []string, skipped int) {
+// (gen/kernels) serve on the specialized backend automatically. When tuned
+// is non-nil, each kernel compiles with its persisted scheduling choice.
+func loadKernels(pool *serve.Pool, dir string, tuned *tunefile.File) (loaded []string, skipped int) {
 	seen := map[string]bool{}
 	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".hbk") {
@@ -363,7 +384,7 @@ func loadKernels(pool *serve.Pool, dir string) (loaded []string, skipped int) {
 			return nil
 		}
 		seen[name] = true
-		if regErr := pool.Register(name, serve.KernelAuto(path)); regErr != nil {
+		if regErr := pool.Register(name, serve.KernelAuto(path, serve.WithTunedPolicies(tuned))); regErr != nil {
 			fmt.Fprintf(os.Stderr, "hbcserve: skipping %s: %v\n", path, regErr)
 			skipped++
 			return nil

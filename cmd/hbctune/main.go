@@ -1,21 +1,27 @@
-// Command hbctune explores the Adaptive Chunking parameter space for one
-// benchmark: it sweeps the target polling count and window size, reporting
-// run time, heartbeat detection rate, and the chunk sizes workers settle on
-// — the exploration behind the paper's choice of target 4 / window 8
-// (Fig. 13 and §6.6).
+// Command hbctune explores the scheduling parameter space for one
+// benchmark: it sweeps the Adaptive Chunking target polling count and
+// window size — the exploration behind the paper's choice of target 4 /
+// window 8 (Fig. 13 and §6.6) — or, with -policies, sweeps the whole
+// schedule catalog (adaptive, static, guided, factoring, trapezoid,
+// weighted, auto) and reports the winner. -save persists winners to a
+// tunefile that hbcserve -policy-file loads at startup.
 //
 // Usage:
 //
 //	hbctune -bench spmv-powerlaw -scale 0.2
 //	hbctune -bench mandelbrot -targets 1,2,4,8,16 -windows 2,8,32
 //	hbctune -kernel kernels/powersum.hbk -explain
+//	hbctune -bench spmv-powerlaw -policies
+//	hbctune -kernel kernels/spmv.hbk -policies -save tuned.json
 //
 // With -kernel, hbctune sweeps a .hbk kernel file instead of a named Go
 // workload; -explain additionally prints the fact engine's static cost
 // model (per-loop trip counts, iteration costs, variance class, and the
 // initial-chunk hint that seeds Adaptive Chunking) next to the measured
 // results, so the analyzer's prediction can be compared with what the
-// runtime converged on.
+// runtime converged on. -policies -save keys the tunefile by kernel name
+// (what hbcserve registers kernels under), so the serve layer picks the
+// winner up directly.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -33,6 +40,7 @@ import (
 	"hbc/internal/pulse"
 	"hbc/internal/sched"
 	"hbc/internal/stats"
+	"hbc/internal/tunefile"
 	"hbc/internal/workloads"
 )
 
@@ -48,10 +56,20 @@ func main() {
 		targets   = flag.String("targets", "1,2,4,8,16", "target polling counts to sweep")
 		windows   = flag.String("windows", "8", "window sizes to sweep")
 		verify    = flag.Bool("verify", false, "verify against the serial oracle")
+		policies  = flag.Bool("policies", false, "sweep the schedule catalog instead of AC parameters")
+		save      = flag.String("save", "", "with -policies: record the winning policy in this tunefile")
 	)
 	flag.Parse()
 
+	if *save != "" && !*policies {
+		fatal(fmt.Errorf("-save requires -policies (only the policy sweep picks a winner to persist)"))
+	}
+
 	if *kernel != "" {
+		if *policies {
+			sweepKernelPolicies(*kernel, *workers, *runs, *heartbeat, *save)
+			return
+		}
 		tuneKernel(*kernel, *explain, *workers, *runs, *heartbeat, parseInts(*targets), parseInts(*windows))
 		return
 	}
@@ -65,9 +83,14 @@ func main() {
 	}
 	w.Prepare(*scale)
 
+	if *policies {
+		sweepBenchPolicies(*bench, w, *scale, *workers, *runs, *heartbeat, *verify, *save)
+		return
+	}
+
 	tb := stats.NewTable(
 		fmt.Sprintf("Adaptive Chunking sweep: %s (scale %.2f, %d workers)", *bench, *scale, *workers),
-		"target", "window", "median", "detection%", "chunk(w0)")
+		"target", "window", "median", "detection%", "chunk min/med/max")
 	for _, win := range parseInts(*windows) {
 		for _, tgt := range parseInts(*targets) {
 			src := pulse.NewTimer()
@@ -86,7 +109,7 @@ func main() {
 				ds[i] = time.Since(t0)
 			}
 			st := src.Stats()
-			chunk := drv.Execs()[0].Chunks(0)
+			chunk := summarizeChunks(drv.Execs(), *workers)
 			drv.Close()
 			team.Close()
 			if *verify {
@@ -94,10 +117,234 @@ func main() {
 					fatal(err)
 				}
 			}
-			tb.Row(tgt, win, stats.Median(ds), st.DetectionRate(), fmt.Sprint(chunk))
+			tb.Row(tgt, win, stats.Median(ds), st.DetectionRate(), chunk)
 		}
 	}
 	fmt.Println(tb.String())
+}
+
+// summarizeChunks reports the spread of settled chunk sizes as
+// "min/median/max": per worker it gathers that worker's chunks across
+// every exec and leaf, takes the worker's median, then reports the global
+// minimum, the median of the per-worker medians, and the global maximum.
+// The old report printed only exec 0 / worker 0, which hid cross-worker
+// divergence entirely and, on multi-nest workloads, every nest but the
+// first.
+func summarizeChunks(execs []*core.Exec, workers int) string {
+	var lo, hi int64
+	var medians []int64
+	first := true
+	for w := 0; w < workers; w++ {
+		var mine []int64
+		for _, x := range execs {
+			mine = append(mine, x.Chunks(w)...)
+		}
+		if len(mine) == 0 {
+			continue
+		}
+		sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+		if first || mine[0] < lo {
+			lo = mine[0]
+		}
+		if first || mine[len(mine)-1] > hi {
+			hi = mine[len(mine)-1]
+		}
+		first = false
+		medians = append(medians, mine[len(mine)/2])
+	}
+	if len(medians) == 0 {
+		return "-"
+	}
+	sort.Slice(medians, func(i, j int) bool { return medians[i] < medians[j] })
+	return fmt.Sprintf("%d/%d/%d", lo, medians[len(medians)/2], hi)
+}
+
+// policyRuns widens the repetition count for the auto selector so the
+// sweep actually reaches a locked decision: one profiling run per
+// candidate (ProfileRuns is forced to 1), plus a few post-lock runs that
+// measure the winner.
+func policyRuns(kind core.ChunkKind, runs int) int {
+	if kind != core.ChunkAuto {
+		return runs
+	}
+	// The default candidate set is every schedule except "none" and "auto"
+	// itself; with ProfileRuns forced to 1, one run profiles one candidate,
+	// and three more measure the locked winner.
+	if min := len(core.ScheduleNames()) - 2 + 3; runs < min {
+		return min
+	}
+	return runs
+}
+
+// sweepBenchPolicies runs one named workload under every schedule in the
+// catalog and reports medians, picking the fastest as the winner.
+func sweepBenchPolicies(benchName string, w workloads.Workload, scale float64, workers, runs int, heartbeat time.Duration, verify bool, save string) {
+	tb := stats.NewTable(
+		fmt.Sprintf("Schedule sweep: %s (scale %.2f, %d workers)", benchName, scale, workers),
+		"policy", "runs", "median", "detection%", "chunk min/med/max", "note")
+	var bestName string
+	var bestMed time.Duration
+	for _, name := range sweepPolicyNames() {
+		kind, err := core.ParseChunkKind(name)
+		if err != nil {
+			fatal(err)
+		}
+		opts := core.Options{Chunk: core.ChunkPolicy{Kind: kind, ProfileRuns: 1}}
+		r := policyRuns(kind, runs)
+
+		src := pulse.NewTimer()
+		team := sched.NewTeam(workers)
+		drv := workloads.NewDriver(team, src, heartbeat, opts)
+		if err := w.BindHBC(drv); err != nil {
+			fatal(err)
+		}
+		ds := make([]time.Duration, r)
+		for i := range ds {
+			t0 := time.Now()
+			w.RunHBC(drv)
+			ds[i] = time.Since(t0)
+		}
+		if verify {
+			if err := w.Verify(); err != nil {
+				fatal(fmt.Errorf("policy %s: %w", name, err))
+			}
+		}
+		note := selectorNote(drv.Execs())
+		st := src.Stats()
+		chunk := summarizeChunks(drv.Execs(), workers)
+		drv.Close()
+		team.Close()
+
+		med := stats.Median(ds)
+		tb.Row(name, r, med, st.DetectionRate(), chunk, note)
+		if bestName == "" || med < bestMed {
+			bestName, bestMed = name, med
+		}
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("hbctune: winner %s (median %v)\n", bestName, bestMed)
+	saveChoice(save, benchName, tunefile.Choice{
+		Policy:   bestName,
+		MedianNs: bestMed.Nanoseconds(),
+		Workers:  workers,
+	})
+}
+
+// sweepKernelPolicies is the .hbk-file twin of sweepBenchPolicies. The
+// tunefile entry is keyed by the kernel's declared name — the same key
+// hbcserve registers it under — so -save feeds serve directly.
+func sweepKernelPolicies(path string, workers, runs int, heartbeat time.Duration, save string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	k, err := frontend.ParseFile(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	facts := analysis.BuildFacts(path, k)
+	c, err := frontend.Compile(k)
+	if err != nil {
+		fatal(err)
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Schedule sweep: %s (kernel %s, %d workers)", facts.Kernel, path, workers),
+		"policy", "runs", "median", "detection%", "chunk min/med/max", "note")
+	var bestName string
+	var bestMed time.Duration
+	for _, name := range sweepPolicyNames() {
+		kind, err := core.ParseChunkKind(name)
+		if err != nil {
+			fatal(err)
+		}
+		r := policyRuns(kind, runs)
+		beat := pulse.NewTimer()
+		team := sched.NewTeam(workers)
+		p, err := core.Compile(c.Nest, core.Options{
+			InitialChunk: facts.LeafChunkHint(),
+			Chunk:        core.ChunkPolicy{Kind: kind, ProfileRuns: 1},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		x := core.NewExec(p, team, beat, heartbeat, c.Env)
+		x.Start()
+		ds := make([]time.Duration, r)
+		for i := range ds {
+			c.Env.Reset()
+			t0 := time.Now()
+			x.Run()
+			ds[i] = time.Since(t0)
+		}
+		note := selectorNote([]*core.Exec{x})
+		st := beat.Stats()
+		chunk := summarizeChunks([]*core.Exec{x}, workers)
+		x.Stop()
+		team.Close()
+
+		med := stats.Median(ds)
+		tb.Row(name, r, med, st.DetectionRate(), chunk, note)
+		if bestName == "" || med < bestMed {
+			bestName, bestMed = name, med
+		}
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("hbctune: winner %s (median %v)\n", bestName, bestMed)
+	saveChoice(save, facts.Kernel, tunefile.Choice{
+		Policy:   bestName,
+		MedianNs: bestMed.Nanoseconds(),
+		Workers:  workers,
+	})
+}
+
+// sweepPolicyNames is the catalog the policy sweep covers: every schedule
+// except "none", which is the unchunked baseline rather than a schedule
+// worth persisting.
+func sweepPolicyNames() []string {
+	var out []string
+	for _, name := range core.ScheduleNames() {
+		if name != "none" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// selectorNote reports the auto selector's end state ("locked→guided" or
+// how far profiling got); empty for fixed policies.
+func selectorNote(execs []*core.Exec) string {
+	for _, x := range execs {
+		st, ok := x.SelectorState()
+		if !ok {
+			continue
+		}
+		if st.Locked {
+			return "locked→" + st.Winner
+		}
+		return fmt.Sprintf("profiling %s (%d done)", st.Active, st.Profiled)
+	}
+	return ""
+}
+
+// saveChoice merges one winner into the tunefile at path (creating it if
+// absent), so successive sweeps over different kernels accumulate.
+func saveChoice(path, key string, c tunefile.Choice) {
+	if path == "" {
+		return
+	}
+	f, err := tunefile.Load(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fatal(err)
+		}
+		f = tunefile.New()
+	}
+	f.Set(key, c)
+	if err := f.Save(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hbctune: saved %s policy %q to %s\n", key, c.Policy, path)
 }
 
 // tuneKernel sweeps the AC parameter space over a .hbk kernel. The fact
@@ -124,7 +371,7 @@ func tuneKernel(path string, explain bool, workers, runs int, heartbeat time.Dur
 
 	tb := stats.NewTable(
 		fmt.Sprintf("Adaptive Chunking sweep: %s (kernel %s, %d workers)", facts.Kernel, path, workers),
-		"target", "window", "median", "detection%", "chunk(w0)")
+		"target", "window", "median", "detection%", "chunk min/med/max")
 	for _, win := range windows {
 		for _, tgt := range targets {
 			beat := pulse.NewTimer()
@@ -147,10 +394,10 @@ func tuneKernel(path string, explain bool, workers, runs int, heartbeat time.Dur
 				ds[i] = time.Since(t0)
 			}
 			st := beat.Stats()
-			chunk := x.Chunks(0)
+			chunk := summarizeChunks([]*core.Exec{x}, workers)
 			x.Stop()
 			team.Close()
-			tb.Row(tgt, win, stats.Median(ds), st.DetectionRate(), fmt.Sprint(chunk))
+			tb.Row(tgt, win, stats.Median(ds), st.DetectionRate(), chunk)
 		}
 	}
 	fmt.Println(tb.String())

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/bits"
-	"sync/atomic"
 )
 
 // Adaptive Chunking (AC) — the paper's §5.1 runtime.
@@ -18,17 +17,19 @@ import (
 // being missed) means chunks are too coarse and S shrinks. Chunk sizes are
 // per worker and per leaf loop, start at 1, and persist across invocations
 // of the same program — the repeated-invocation adaptation of Fig. 11.
+//
+// The window bookkeeping lives here, in acWorker; the chunk slots and the
+// rescale decision live in the policy layer (policy.go), where AC is one
+// of several pluggable schedules. Exec.poll feeds each completed window to
+// SchedPolicy.OnWindow.
 
-// acWorker is one worker's Adaptive Chunking state. Each slot is written
-// only by its owning worker; the chunk sizes are atomic so observers
-// (Exec.Chunks, the telemetry registry) can sample them mid-run without a
-// data race, while the owner's hot-path read (chunkFor) stays a single
-// uncontended load. Slots live in a contiguous slice (Exec.ac), so both
-// sides are padded: trailing-only padding keeps a slot's hot head off the
-// *previous* slot's fields, but leaves it sharing a line with whatever the
-// allocator places before the slice — and, if fields are ever added without
-// re-auditing the size, with the previous slot's tail. The leading pad
-// makes the isolation unconditional. polls is incremented on every
+// acWorker is one worker's heartbeat-window state. Each slot is written
+// only by its owning worker. Slots live in a contiguous slice (Exec.ac), so
+// both sides are padded: trailing-only padding keeps a slot's hot head off
+// the *previous* slot's fields, but leaves it sharing a line with whatever
+// the allocator places before the slice — and, if fields are ever added
+// without re-auditing the size, with the previous slot's tail. The leading
+// pad makes the isolation unconditional. polls is incremented on every
 // heartbeat poll — the hottest per-worker write in the runtime — so a
 // shared line here shows up directly in Fig. 7-style overhead measurements.
 //
@@ -38,27 +39,33 @@ type acWorker struct {
 	// polls counts polling-function invocations since the last detected
 	// heartbeat (the paper's per-worker poll counter).
 	polls int64
+	// lastLeaf is the ordinal of the leaf this worker most recently polled
+	// from, or -1 before the first leaf poll. Heartbeats detected at
+	// interior latches attribute their completed window to this leaf: the
+	// latch poll proves the worker is between leaf chunks of exactly this
+	// loop, so its chunk size is the one the window measured.
+	lastLeaf int32
 	// window logs the poll count of each heartbeat interval in the current
 	// window.
 	window []int64
 	wfill  int
-	// chunk is the current chunk size per leaf ordinal. Written only by the
-	// owning worker (onHeartbeat); read concurrently by observers, hence
-	// atomic — the owner pays a plain load/store on its own cache line.
-	chunk []atomic.Int64
-	_     [64]byte // trailing pad: isolate from the next slot's leading bytes
+	_      [64]byte // trailing pad: isolate from the next slot's leading bytes
 }
 
-func (a *acWorker) init(p *Program, o Options) {
+func (a *acWorker) init(o Options) {
 	a.window = make([]int64, o.WindowSize)
 	a.wfill = 0
 	a.polls = 0
-	a.chunk = make([]atomic.Int64, len(p.leaves))
-	for i := range a.chunk {
-		// The paper starts at 1 and adapts upward; a static cost estimate
-		// (Options.InitialChunk, from the analysis facts) seeds the first
-		// window closer to the right granularity. withDefaults clamps it.
-		a.chunk[i].Store(o.InitialChunk)
+	a.lastLeaf = -1
+}
+
+// notePoll records one polling-function invocation: the per-interval poll
+// count advances, and a leaf poll refreshes lastLeaf so a later
+// latch-detected window completion can be attributed to it.
+func (a *acWorker) notePoll(ord int) {
+	a.polls++
+	if ord >= 0 {
+		a.lastLeaf = int32(ord)
 	}
 }
 
@@ -87,18 +94,25 @@ func rescaleChunk(chunk, m, target, max int64) int64 {
 	return int64(q)
 }
 
-// onHeartbeat logs the interval's poll count and, at the end of each
-// window, rescales the chunk size of the leaf whose poll detected the beat.
-// ord is -1 when the detecting poll sat at an interior latch, in which case
-// only the window advances. It returns the rescale that happened, if any,
-// for the caller to trace: retuned is true when a chunk slot was written,
-// with prev/next its old and new sizes and m the window minimum.
-func (a *acWorker) onHeartbeat(ord int, o Options) (prev, next, m int64, retuned bool) {
+// onHeartbeat logs the interval's poll count and reports when a window
+// completes. ord is the polling leaf's ordinal, or -1 when the detecting
+// poll sat at an interior latch. done is true at the end of each window,
+// with m the window's minimum poll count and leaf the ordinal the window is
+// attributed to: the detecting leaf when ord >= 0, otherwise the most
+// recently active leaf (lastLeaf). leaf is -1 only when no leaf has polled
+// yet, in which case the caller drops the window — there is no chunk the
+// measurement describes.
+//
+// Attributing latch-detected windows to lastLeaf fixes a stall: previously
+// a window whose closing beat landed on an interior latch was discarded
+// outright, so latch-heavy nests (spmv-arrowhead's tiny inner rows) could
+// lose every window and never adapt.
+func (a *acWorker) onHeartbeat(ord int) (m int64, leaf int, done bool) {
 	a.window[a.wfill] = a.polls
 	a.polls = 0
 	a.wfill++
 	if a.wfill < len(a.window) {
-		return 0, 0, 0, false
+		return 0, -1, false
 	}
 	a.wfill = 0
 	m = a.window[0]
@@ -107,23 +121,21 @@ func (a *acWorker) onHeartbeat(ord int, o Options) (prev, next, m int64, retuned
 			m = v
 		}
 	}
-	if ord < 0 || o.Chunk.Kind != ChunkAdaptive {
-		return 0, 0, 0, false
+	leaf = ord
+	if leaf < 0 {
+		leaf = int(a.lastLeaf)
 	}
-	prev = a.chunk[ord].Load()
-	next = rescaleChunk(prev, m, o.TargetPolls, o.MaxChunk)
-	a.chunk[ord].Store(next)
-	return prev, next, m, true
+	return m, leaf, true
 }
 
 // Chunks returns worker w's current chunk size for each leaf, for
 // observation by experiments and the telemetry registry. Safe to call
-// while a run is active: the slots are atomic, so sampling never races
-// with the owner's rescale.
+// while a run is active: policies keep their observable state in atomic
+// slots, so sampling never races with the owner's updates.
 func (x *Exec) Chunks(w int) []int64 {
-	out := make([]int64, len(x.ac[w].chunk))
+	out := make([]int64, len(x.prog.leaves))
 	for i := range out {
-		out[i] = x.ac[w].chunk[i].Load()
+		out[i] = x.pol.Chunk(w, i)
 	}
 	return out
 }

@@ -540,7 +540,7 @@ func TestAdaptiveChunkShrinksWhenBeatsMissed(t *testing.T) {
 	x.Start()
 	defer x.Stop()
 	// Seed a large chunk.
-	x.ac[0].chunk[0].Store(1024)
+	x.pol.(*adaptivePolicy).slots.store(0, 0, 1024)
 	x.Run()
 	if got := x.Chunks(0)[0]; got >= 1024 {
 		t.Fatalf("adaptive chunk = %d, want shrink below 1024", got)

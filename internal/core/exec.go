@@ -60,7 +60,13 @@ type Exec struct {
 	env    any
 	period time.Duration
 
-	ac      []acWorker
+	ac []acWorker
+	// pol is the scheduling policy deciding leaf chunk sizes — Adaptive
+	// Chunking by default, or any of the classic schedules / the online
+	// selector (policy.go, selector.go).
+	pol SchedPolicy
+	// obs is pol's run-timing hook (the online selector), nil otherwise.
+	obs     runObserver
 	stats   RunStats
 	started bool
 	// lifeMu serializes Start/Stop so concurrent or repeated Close calls
@@ -114,7 +120,16 @@ func NewExec(prog *Program, team *sched.Team, src pulse.Source, period time.Dura
 	x.stats.PromotionsByLevel = make([]int64, prog.depth)
 	x.ac = make([]acWorker, team.Size())
 	for i := range x.ac {
-		x.ac[i].init(prog, x.prog.opts)
+		x.ac[i].init(x.prog.opts)
+	}
+	x.pol = NewPolicy(PolicyInfo{
+		Workers:     team.Size(),
+		Leaves:      len(prog.leaves),
+		Opts:        prog.opts,
+		StaticChunk: prog.staticChunk,
+	})
+	if obs, ok := x.pol.(runObserver); ok {
+		x.obs = obs
 	}
 	return x
 }
@@ -221,6 +236,13 @@ func (x *Exec) RunCtx(ctx context.Context) (result any, err error) {
 			}
 		}()
 	}
+	// Time the invocation for the policy's run observer (the online
+	// selector). Only successful, uncancelled runs are fed back: a failed
+	// run's wall time says nothing about the schedule in force.
+	var runStart time.Time
+	if x.obs != nil {
+		runStart = time.Now()
+	}
 	err = func() (err error) {
 		defer func() {
 			if v := recover(); v != nil {
@@ -252,6 +274,9 @@ func (x *Exec) RunCtx(ctx context.Context) (result any, err error) {
 		// Cancelled runs complete early with partial coverage; their
 		// reduction result is meaningless, so report the cause instead.
 		return nil, ctl.err()
+	}
+	if x.obs != nil {
+		x.obs.EndRun(time.Since(runStart))
 	}
 	return result, nil
 }
@@ -336,12 +361,26 @@ func newTaskRun(x *Exec, w *sched.Worker) *taskRun {
 type sliceRT struct {
 	ts  *taskRun
 	ord int
+	// rem estimates the invocation's remaining iterations for the schedule
+	// policies: resynced to the exact value before each slice entry
+	// (runLeafSlice) and decremented by each chunk dealt — the slice body
+	// advances iv itself, so between entries this is the best the runtime
+	// can know without widening loopnest.SliceRT.
+	rem int64
 }
 
 func (rt *sliceRT) Budget() *int64 { return &rt.ts.budget[rt.ord] }
-func (rt *sliceRT) Chunk() int64   { return rt.ts.chunkFor(rt.ord) }
-func (rt *sliceRT) Poll() bool     { return rt.ts.poll(rt.ord) }
-func (rt *sliceRT) Aborted() bool  { return rt.ts.aborted() }
+
+func (rt *sliceRT) Chunk() int64 {
+	c := rt.ts.chunkFor(rt.ord, rt.rem)
+	if rt.rem -= c; rt.rem < 0 {
+		rt.rem = 0
+	}
+	return c
+}
+
+func (rt *sliceRT) Poll() bool    { return rt.ts.poll(rt.ord) }
+func (rt *sliceRT) Aborted() bool { return rt.ts.aborted() }
 
 // getTaskRun returns a taskRun for a promoted slice or leftover task,
 // recycled from the pool when possible. The caller installs ctl and adopts a
@@ -604,7 +643,9 @@ func (ts *taskRun) runLeaf(l *cloop) int {
 	acc := ts.accVisible(l)
 	idx := ts.idx[:lvl]
 	if ts.x.prog.opts.TraceChunks {
-		ts.x.recordChunk(ord, ts.outermostIdx(), ts.chunkFor(ord))
+		// Observe-only read: tracing must not advance a decreasing
+		// schedule's deal state.
+		ts.x.recordChunk(ord, ts.outermostIdx(), ts.x.pol.Chunk(ts.w.ID(), ord))
 	}
 	if sl := l.spec.Slice; sl != nil {
 		return ts.runLeafSlice(l, sl, e, acc, idx)
@@ -617,7 +658,7 @@ func (ts *taskRun) runLeaf(l *cloop) int {
 		}
 		r := ts.budget[ord]
 		if r <= 0 {
-			r = ts.chunkFor(ord)
+			r = ts.chunkFor(ord, e.hi-e.iv)
 			ts.budget[ord] = r
 		}
 		n := r
@@ -631,7 +672,7 @@ func (ts *taskRun) runLeaf(l *cloop) int {
 		ts.budget[ord] = r
 		if r == 0 {
 			// Chunk complete: reinitialize R and poll (§3.2).
-			ts.budget[ord] = ts.chunkFor(ord)
+			ts.budget[ord] = ts.chunkFor(ord, e.hi-e.iv)
 			if ts.poll(ord) {
 				if pl := ts.x.promote(ts, l); pl != noPromo {
 					if pl < lvl {
@@ -661,6 +702,9 @@ func (ts *taskRun) runLeafSlice(l *cloop, sl loopnest.Slice, e *lst, acc any, id
 			return noPromo
 		}
 		ts.cur = l
+		// Resync the policy's remaining-iterations estimate: the slice body
+		// advances iv privately, so this is the last exact point.
+		rt.rem = e.hi - e.iv
 		e.iv = sl(env, idx, e.iv, e.hi, acc, rt)
 		if e.iv >= e.hi {
 			break
@@ -686,40 +730,42 @@ func (ts *taskRun) outermostIdx() int64 {
 	return ts.idx[0]
 }
 
-// poll checks the heartbeat source and feeds Adaptive Chunking. ord is the
-// polling leaf's ordinal, or -1 at interior latches.
+// poll checks the heartbeat source and feeds the scheduling policy's poll
+// window. ord is the polling leaf's ordinal, or -1 at interior latches.
 func (ts *taskRun) poll(ord int) bool {
 	w := ts.w.ID()
 	k := ts.x.src.Poll(w)
 	a := &ts.x.ac[w]
-	a.polls++
+	a.notePoll(ord)
 	if k == 0 {
 		return false
 	}
-	prev, next, m, retuned := a.onHeartbeat(ord, ts.x.prog.opts)
+	m, leaf, windowDone := a.onHeartbeat(ord)
+	var prev, next int64
+	retuned := false
+	if windowDone && leaf >= 0 {
+		prev, next, retuned = ts.x.pol.OnWindow(w, leaf, m)
+	}
 	if tr := ts.x.tr; tr != nil {
 		tr.Emit(w, telemetry.KindBeat, int64(k), int64(ord), 0, 0, 0)
 		if retuned {
-			tr.Emit(w, telemetry.KindRetune, int64(ord), next, prev, m, 0)
+			tr.Emit(w, telemetry.KindRetune, int64(leaf), next, prev, m, 0)
 		}
 	}
 	return true
 }
 
-// chunkFor returns the chunk size for a leaf under the compiled policy.
-func (ts *taskRun) chunkFor(ord int) int64 {
-	return ts.x.chunkFor(ts.w.ID(), ord)
+// chunkFor returns the next chunk size for a leaf under the compiled
+// policy, given the invocation's remaining iterations.
+func (ts *taskRun) chunkFor(ord int, remaining int64) int64 {
+	return ts.x.chunkFor(ts.w.ID(), ord, remaining)
 }
 
-func (x *Exec) chunkFor(worker, ord int) int64 {
-	switch x.prog.opts.Chunk.Kind {
-	case ChunkStatic:
-		return x.prog.staticChunk[ord]
-	case ChunkNone:
-		return 1
-	default:
-		return x.ac[worker].chunk[ord].Load()
+func (x *Exec) chunkFor(worker, ord int, remaining int64) int64 {
+	if c := x.pol.NextChunk(worker, ord, remaining); c > 0 {
+		return c
 	}
+	return 1
 }
 
 func (x *Exec) recordChunk(ord int, outer, chunk int64) {

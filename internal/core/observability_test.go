@@ -116,17 +116,21 @@ func TestRescaleChunkOverflow(t *testing.T) {
 	}
 }
 
-// TestOnHeartbeatOverflowKeepsMax drives the overflow through onHeartbeat
-// itself: a huge seeded chunk and a poll-dense window must pin the chunk at
-// MaxChunk, not collapse it to 1.
+// TestOnHeartbeatOverflowKeepsMax drives the overflow through the window
+// machinery and the adaptive policy's OnWindow: a huge seeded chunk and a
+// poll-dense window must pin the chunk at MaxChunk, not collapse it to 1.
 func TestOnHeartbeatOverflowKeepsMax(t *testing.T) {
 	opts := (Options{Chunk: ChunkPolicy{Kind: ChunkAdaptive}, TargetPolls: 4, WindowSize: 1}).withDefaults()
 	var a acWorker
-	a.window = make([]int64, opts.WindowSize)
-	a.chunk = make([]atomic.Int64, 1)
-	a.chunk[0].Store(math.MaxInt64 / 2)
+	a.init(opts)
+	pol := NewPolicy(PolicyInfo{Workers: 1, Leaves: 1, Opts: opts}).(*adaptivePolicy)
+	pol.slots.store(0, 0, math.MaxInt64/2)
 	a.polls = 1 << 32 // poll count large enough to overflow the product
-	prev, next, _, retuned := a.onHeartbeat(0, opts)
+	m, leaf, done := a.onHeartbeat(0)
+	if !done || leaf != 0 {
+		t.Fatalf("onHeartbeat = (m=%d, leaf=%d, done=%v), want a completed window for leaf 0", m, leaf, done)
+	}
+	prev, next, retuned := pol.OnWindow(0, leaf, m)
 	if !retuned {
 		t.Fatal("expected a rescale at window end")
 	}
@@ -136,7 +140,7 @@ func TestOnHeartbeatOverflowKeepsMax(t *testing.T) {
 	if next != opts.MaxChunk {
 		t.Fatalf("chunk after overflow rescale = %d, want MaxChunk %d", next, opts.MaxChunk)
 	}
-	if got := a.chunk[0].Load(); got != opts.MaxChunk {
+	if got := pol.Chunk(0, 0); got != opts.MaxChunk {
 		t.Fatalf("stored chunk = %d, want MaxChunk %d", got, opts.MaxChunk)
 	}
 }

@@ -1,0 +1,28 @@
+package schedbench
+
+import (
+	"testing"
+
+	"hbc/internal/core"
+)
+
+// PolicyNextChunk measures the scheduling policy's per-deal fast path in
+// its worst-case dispatch shape: the auto selector delegating through its
+// atomically-published active candidate. NextChunk runs on every chunk
+// refill a leaf makes, so it must report 0 allocs/op — an allocation here
+// would charge every loop slice in the runtime.
+func PolicyNextChunk(b *testing.B) {
+	pol := core.NewPolicy(core.PolicyInfo{
+		Workers: 1,
+		Leaves:  1,
+		Opts:    core.Options{Chunk: core.ChunkPolicy{Kind: core.ChunkAuto}},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		total += pol.NextChunk(0, 0, 1<<20)
+	}
+	b.StopTimer()
+	sink.Store(total)
+}

@@ -175,5 +175,6 @@ func BenchList() []NamedBench {
 		{Name: "PromotionTriple", Fn: PromotionTriple},
 		{Name: "PromotionTripleTraced", Fn: PromotionTripleTraced},
 		{Name: "StealLatency", Fn: StealLatency},
+		{Name: "PolicyNextChunk", Fn: PolicyNextChunk},
 	}
 }

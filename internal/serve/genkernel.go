@@ -27,6 +27,7 @@ type genRunnable struct {
 	r     *hbc.Runner
 	env   gen.Env
 	facts *analysis.Facts
+	sched string
 }
 
 func (g *genRunnable) RunCtx(ctx context.Context) (any, error) {
@@ -38,14 +39,17 @@ func (g *genRunnable) Close() { g.r.Close() }
 
 func (g *genRunnable) Facts() *analysis.Facts { return g.facts }
 
+func (g *genRunnable) Schedule() string { return g.sched }
+
 // KernelAuto returns a BuildFunc that serves the kernel through its
 // generated package when the registry (hbc/gen) holds an artifact whose
 // SourceSHA matches the file on disk, and through KernelFile's interpreted
 // path otherwise. A stale artifact — registered name but mismatched SHA —
 // falls back rather than erroring, so editing a kernel never breaks
 // serving; re-emit to regain the specialized path.
-func KernelAuto(path string) BuildFunc {
-	interpreted := KernelFile(path)
+func KernelAuto(path string, opts ...KernelOption) BuildFunc {
+	interpreted := KernelFile(path, opts...)
+	ko := buildKernelOpts(opts)
 	return func(shard int, team *hbc.Team) (Runnable, error) {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -68,10 +72,14 @@ func KernelAuto(path string) BuildFunc {
 			return nil, err
 		}
 		env := gk.NewEnv()
-		prog, err := hbc.Compile(gk.Nest(env), hbc.Config{Facts: facts})
+		cfg, err := ko.apply(hbc.Config{Facts: facts}, k.Name)
 		if err != nil {
 			return nil, err
 		}
-		return &genRunnable{r: team.Load(prog, env), env: env, facts: facts}, nil
+		prog, err := hbc.Compile(gk.Nest(env), cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &genRunnable{r: team.Load(prog, env), env: env, facts: facts, sched: prog.Schedule()}, nil
 	}
 }

@@ -1,0 +1,101 @@
+package serve_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"hbc/internal/serve"
+	"hbc/internal/tunefile"
+)
+
+func policyPool(t *testing.T) *serve.Pool {
+	t.Helper()
+	return serve.NewPool(serve.Config{
+		Shards:          1,
+		WorkersPerShard: 2,
+		QueueDepth:      8,
+		DefaultDeadline: 10 * time.Second,
+	})
+}
+
+// TestTunedPolicyApplied is the serve half of the tuning loop: a tunefile
+// entry for a kernel changes the schedule its program compiles with, the
+// pool reports the tuned name, and requests still compute the right
+// answer under the new schedule. A kernel absent from the file keeps the
+// default (adaptive) policy.
+func TestTunedPolicyApplied(t *testing.T) {
+	tuned := tunefile.New()
+	tuned.Set("dotnorm", tunefile.Choice{Policy: "guided", MinChunk: 8})
+
+	p := policyPool(t)
+	defer p.Close()
+	if err := p.Register("dotnorm", serve.KernelFile("../../kernels/dotnorm.hbk", serve.WithTunedPolicies(tuned))); err != nil {
+		t.Fatalf("register tuned: %v", err)
+	}
+	if err := p.Register("powersum", serve.KernelFile("../../kernels/powersum.hbk", serve.WithTunedPolicies(tuned))); err != nil {
+		t.Fatalf("register untuned: %v", err)
+	}
+	p.Start()
+
+	scheds := p.Schedules()
+	if scheds["dotnorm"] != "guided" {
+		t.Fatalf("tuned kernel schedule = %q, want guided (all: %v)", scheds["dotnorm"], scheds)
+	}
+	if scheds["powersum"] != "adaptive" {
+		t.Fatalf("untuned kernel schedule = %q, want adaptive default", scheds["powersum"])
+	}
+
+	res, err := p.Do(context.Background(), serve.Request{Kernel: "dotnorm", Tenant: "t"})
+	if err != nil {
+		t.Fatalf("run under tuned policy: %v", err)
+	}
+	if got := *res.Value.(*float64); got != 65536 {
+		t.Fatalf("dotnorm under guided = %v, want 65536", got)
+	}
+}
+
+// TestTunedPolicyRejectedAtRegister: an invalid choice (here a policy name
+// that parses but a negative knob) surfaces when the kernel is built, not
+// at first request.
+func TestTunedPolicyRejectedAtRegister(t *testing.T) {
+	tuned := tunefile.New()
+	tuned.Set("dotnorm", tunefile.Choice{Policy: "static", StaticChunk: -3})
+
+	p := policyPool(t)
+	defer p.Close()
+	err := p.Register("dotnorm", serve.KernelFile("../../kernels/dotnorm.hbk", serve.WithTunedPolicies(tuned)))
+	if err == nil {
+		t.Fatal("Register accepted a negative tuned chunk")
+	}
+	if !strings.Contains(err.Error(), "dotnorm") {
+		t.Fatalf("error %q does not name the kernel", err)
+	}
+}
+
+// TestTunedPolicyAuto: the persisted choice can itself be "auto", in which
+// case the serve layer compiles the kernel with the online selector.
+func TestTunedPolicyAuto(t *testing.T) {
+	tuned := tunefile.New()
+	tuned.Set("dotnorm", tunefile.Choice{Policy: "auto", ProfileRuns: 1})
+
+	p := policyPool(t)
+	defer p.Close()
+	if err := p.Register("dotnorm", serve.KernelFile("../../kernels/dotnorm.hbk", serve.WithTunedPolicies(tuned))); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	p.Start()
+	if s := p.Schedules()["dotnorm"]; s != "auto" {
+		t.Fatalf("schedule = %q, want auto", s)
+	}
+	for i := 0; i < 8; i++ {
+		res, err := p.Do(context.Background(), serve.Request{Kernel: "dotnorm", Tenant: "t"})
+		if err != nil {
+			t.Fatalf("run %d under auto: %v", i, err)
+		}
+		if got := *res.Value.(*float64); got != 65536 {
+			t.Fatalf("run %d: dotnorm = %v, want 65536", i, got)
+		}
+	}
+}

@@ -793,6 +793,7 @@ type kernelRunnable struct {
 	r     *hbc.Runner
 	env   *frontend.Env
 	facts *analysis.Facts
+	sched string
 }
 
 func (k *kernelRunnable) RunCtx(ctx context.Context) (any, error) {
@@ -804,12 +805,16 @@ func (k *kernelRunnable) Close() { k.r.Close() }
 
 func (k *kernelRunnable) Facts() *analysis.Facts { return k.facts }
 
+func (k *kernelRunnable) Schedule() string { return k.sched }
+
 // KernelFile returns a BuildFunc that parses, vets, and compiles the .hbk
 // kernel file independently on each shard — each shard materializes its own
 // data environment, so shards share no mutable kernel state. The fact
 // engine runs once per shard too; its facts feed the runtime's initial
-// chunk hint and the pool's purity gate.
-func KernelFile(path string) BuildFunc {
+// chunk hint and the pool's purity gate. Options (WithTunedPolicies) can
+// overlay a persisted scheduling choice onto the compile config.
+func KernelFile(path string, opts ...KernelOption) BuildFunc {
+	ko := buildKernelOpts(opts)
 	return func(_ int, team *hbc.Team) (Runnable, error) {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -824,10 +829,14 @@ func KernelFile(path string) BuildFunc {
 		if err != nil {
 			return nil, err
 		}
-		prog, err := hbc.Compile(c.Nest, hbc.Config{Facts: facts})
+		cfg, err := ko.apply(hbc.Config{Facts: facts}, k.Name)
 		if err != nil {
 			return nil, err
 		}
-		return &kernelRunnable{r: team.Load(prog, c.Env), env: c.Env, facts: facts}, nil
+		prog, err := hbc.Compile(c.Nest, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &kernelRunnable{r: team.Load(prog, c.Env), env: c.Env, facts: facts, sched: prog.Schedule()}, nil
 	}
 }

@@ -1,0 +1,61 @@
+package workloads
+
+// Differential correctness for the schedule catalog: every registered
+// workload must compute the oracle's answer under every scheduling policy.
+// Schedules only change how leaf iterations are diced into chunks, never
+// which iterations run, so any divergence here is a policy bug (a dropped
+// or double-dealt range), not a workload bug.
+
+import (
+	"testing"
+	"time"
+
+	"hbc/internal/core"
+	"hbc/internal/pulse"
+	"hbc/internal/sched"
+)
+
+func TestSchedulePoliciesMatchOracle(t *testing.T) {
+	policies := []core.ChunkKind{
+		core.ChunkStatic, core.ChunkGuided, core.ChunkFactoring,
+		core.ChunkTrapezoid, core.ChunkWeighted, core.ChunkAuto,
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Prepare(testScale)
+			for _, kind := range policies {
+				team := sched.NewTeam(3)
+				drv := NewDriver(team, pulse.NewEveryN(16), 50*time.Microsecond, core.Options{
+					Chunk: core.ChunkPolicy{
+						Kind:        kind,
+						Size:        4, // static schedule's chunk
+						ProfileRuns: 1,
+						Weights:     []float64{2, 1, 1}, // exercised by weighted only
+					},
+				})
+				if err := w.BindHBC(drv); err != nil {
+					t.Fatal(err)
+				}
+				runs := 1
+				if kind == core.ChunkAuto {
+					// Enough invocations to profile every candidate and run
+					// past the lock, so post-lock delegation is covered too.
+					runs = len(core.ScheduleNames())
+				}
+				for i := 0; i < runs; i++ {
+					w.RunHBC(drv)
+				}
+				drv.Close()
+				team.Close()
+				if err := w.Verify(); err != nil {
+					t.Fatalf("%v schedule: %v", kind, err)
+				}
+			}
+		})
+	}
+}
