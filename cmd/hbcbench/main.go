@@ -50,6 +50,7 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each figure's table as CSV into this directory")
 		jsonDir   = flag.String("json", "", "write machine-readable BENCH_*.json artifacts into this directory")
 		schedRun  = flag.Bool("sched", false, "run the scheduler microbenchmark suite")
+		topology  = flag.String("topology", "", "with -sched: worker-group hierarchy for the stealing benchmarks (e.g. 2x4; default flat)")
 		policyRun = flag.Bool("policy", false, "run the schedule-policy matrix over the TPAL set")
 		codegen   = flag.Bool("codegen", false, "run the interpreted-vs-generated machinery overhead suite")
 		kernelDir = flag.String("kernels", "kernels", "with -codegen: directory holding the .hbk sources")
@@ -80,7 +81,20 @@ func main() {
 			fmt.Printf("  %s\n", n)
 		}
 	case *schedRun:
-		if err := runSched(*workers, *jsonDir); err != nil {
+		topo, err := sched.ParseTopology(*topology)
+		if err != nil {
+			fatal(err)
+		}
+		schedCfg := schedbench.Config{Topology: topo}
+		// StealLatency's historical headline shape is a two-worker team;
+		// only an explicit -workers overrides it (the default value is
+		// NumCPU, meant for the workload harness, not this suite).
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				schedCfg.Workers = *workers
+			}
+		})
+		if err := runSched(schedCfg, *workers, *jsonDir); err != nil {
 			fatal(err)
 		}
 	case *policyRun:
@@ -147,15 +161,17 @@ func runFigure(id int, cfg harness.Config, bars bool, csvDir, jsonDir string) er
 
 // runSched runs the gated scheduler microbenchmarks through
 // testing.Benchmark and, with -json, writes BENCH_sched.json in the schema
-// cmd/benchgate consumes.
-func runSched(workers int, jsonDir string) error {
+// cmd/benchgate consumes. The recorded topology lets the gate refuse to
+// ratio-compare suites measured under different hierarchies.
+func runSched(cfg schedbench.Config, workers int, jsonDir string) error {
 	suite := &stats.BenchSuite{
-		Suite:   "sched",
-		GoOS:    runtime.GOOS,
-		GoArch:  runtime.GOARCH,
-		Workers: workers,
+		Suite:    "sched",
+		GoOS:     runtime.GOOS,
+		GoArch:   runtime.GOARCH,
+		Workers:  workers,
+		Topology: cfg.Topology.String(),
 	}
-	for _, nb := range schedbench.BenchList() {
+	for _, nb := range schedbench.BenchListWith(cfg) {
 		r := testing.Benchmark(nb.Fn)
 		rec := stats.BenchRecord{
 			Name:        nb.Name,

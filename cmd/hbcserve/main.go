@@ -69,6 +69,7 @@ func main() {
 		kernelDir = flag.String("kernels", "kernels", "directory of .hbk kernels to load")
 		shards    = flag.Int("shards", 2, "team shards (also the in-flight limit)")
 		workers   = flag.Int("workers", 0, "workers per shard (0 = NumCPU/shards)")
+		topoSpec  = flag.String("topology", "", "pool worker-group hierarchy for topology-aware shard placement (e.g. 2x4; empty = flat)")
 		queue     = flag.Int("queue", 16, "admission queue depth")
 		defDL     = flag.Duration("default-deadline", time.Second, "deadline for requests that specify none")
 		maxDL     = flag.Duration("max-deadline", 30*time.Second, "upper clamp on requested deadlines")
@@ -109,9 +110,29 @@ func main() {
 		emit("leaked_goroutines", float64(leaked))
 	})
 
+	topo, err := hbc.ParseTopology(*topoSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbcserve:", err)
+		os.Exit(2)
+	}
+	nshards := *shards
+	if topo.Groups() > 1 {
+		// With a topology given, one shard per leaf group is the placement
+		// that keeps tenants inside a group; an explicit -shards still wins.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			nshards = 0
+		}
+	}
 	pool := serve.NewPool(serve.Config{
-		Shards:          *shards,
+		Shards:          nshards,
 		WorkersPerShard: *workers,
+		Topology:        topo,
 		QueueDepth:      *queue,
 		DefaultDeadline: *defDL,
 		MaxDeadline:     *maxDL,
@@ -125,7 +146,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("hbcserve: loaded %d kernel(s) %v on %d shard(s) x %d worker(s)",
-		len(loaded), loaded, *shards, poolWorkers(*workers, *shards))
+		len(loaded), loaded, pool.Shards(), pool.ShardWorkers())
 	if skipped > 0 {
 		fmt.Printf(", skipped %d", skipped)
 	}
@@ -220,17 +241,6 @@ func awaitSettle(baseline int, grace time.Duration) int {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-}
-
-func poolWorkers(workers, shards int) int {
-	if workers > 0 {
-		return workers
-	}
-	w := runtime.NumCPU() / shards
-	if w < 1 {
-		w = 1
-	}
-	return w
 }
 
 // newMux builds the server's route table. Split from main so the handler

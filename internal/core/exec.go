@@ -79,6 +79,10 @@ type Exec struct {
 	// one Run at a time; tasks spawned during the run read it through their
 	// taskRun.
 	ctl *runCtl
+	// pin, when >= 0, is the topology group the root task of every run is
+	// submitted to (Team.RunOn instead of Team.Run), keeping a nest's working
+	// set inside one leaf group until stealing widens it. -1 means unpinned.
+	pin int
 
 	traceMu sync.Mutex
 	trace   []ChunkSample
@@ -113,7 +117,7 @@ func NewExec(prog *Program, team *sched.Team, src pulse.Source, period time.Dura
 	if period <= 0 {
 		period = DefaultHeartbeat
 	}
-	x := &Exec{prog: prog, team: team, src: src, env: env, period: period, manage: true}
+	x := &Exec{prog: prog, team: team, src: src, env: env, period: period, manage: true, pin: -1}
 	if prog.opts.TraceEvents {
 		x.events = &eventLog{limit: maxTraceEvents, start: time.Now()}
 	}
@@ -152,6 +156,15 @@ func (x *Exec) Env() any { return x.env }
 // promotions, and Adaptive Chunking retunes on the workers' lanes. Must be
 // called before Start; a nil tracer leaves tracing disabled.
 func (x *Exec) SetTracer(tr *telemetry.Tracer) { x.tr = tr }
+
+// Pin routes the root task of subsequent runs to the given topology group
+// (sched.Team.RunOn): the nest starts inside that group and only leaves it
+// when the widening steal search promotes work outward. Out-of-range groups
+// are rejected by the team at Run time. Pin(-1) restores unpinned submission.
+func (x *Exec) Pin(group int) { x.pin = group }
+
+// PinnedGroup returns the group runs are pinned to, or -1 when unpinned.
+func (x *Exec) PinnedGroup() int { return x.pin }
 
 // Start attaches the heartbeat source. Must precede the first Run. A no-op
 // for shared-source Execs and when already started; idempotent.
@@ -255,7 +268,7 @@ func (x *Exec) RunCtx(ctx context.Context) (result any, err error) {
 				err = pe
 			}
 		}()
-		return x.team.Run(func(w *sched.Worker) {
+		rootFn := func(w *sched.Worker) {
 			ts := newTaskRun(x, w)
 			ts.guarded(func() {
 				root := x.prog.loops[0]
@@ -265,7 +278,11 @@ func (x *Exec) RunCtx(ctx context.Context) (result any, err error) {
 				}
 				result = ts.chain[0].acc
 			})
-		})
+		}
+		if x.pin >= 0 {
+			return x.team.RunOn(x.pin, rootFn)
+		}
+		return x.team.Run(rootFn)
 	}()
 	if err != nil {
 		return nil, err

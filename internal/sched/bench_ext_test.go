@@ -17,3 +17,5 @@ func BenchmarkSpawnJoin(b *testing.B)             { schedbench.SpawnJoin(b) }
 func BenchmarkPromotionTriple(b *testing.B)       { schedbench.PromotionTriple(b) }
 func BenchmarkPromotionTripleTraced(b *testing.B) { schedbench.PromotionTripleTraced(b) }
 func BenchmarkStealLatency(b *testing.B)          { schedbench.StealLatency(b) }
+func BenchmarkStealLatencyCross(b *testing.B)     { schedbench.StealLatencyCross(b) }
+func BenchmarkPromotionTriplePinned(b *testing.B) { schedbench.PromotionTriplePinned(b) }

@@ -1,0 +1,251 @@
+package sched
+
+// Topology-aware hierarchical scheduling (Thibault et al., "An Efficient
+// OpenMP Runtime System for Hierarchical Architectures"): flat random-victim
+// stealing treats all workers as equidistant, which loses once the machine
+// has socket/LLC tiers — a steal that crosses a socket pays cross-die cache
+// traffic for the task AND for everything the task touches next. The fix is
+// to group workers into a hierarchy and steal near-first: exhaust the own
+// group before trying siblings, and siblings before the rest of the machine.
+//
+// A Topology describes that hierarchy as a list of levels, outermost first:
+// [2, 4] ("2x4") is 2 groups of 4 workers, [2, 2, 2] ("2x2x2") is 2
+// super-groups each holding 2 groups of 2. Go cannot pin goroutines to
+// cores, so the model is synthetic by default — but it still pays off: the
+// widening search bounds how many deques a thief disturbs, per-group inboxes
+// keep pinned submissions from thrashing remote deques, and on a real
+// hierarchical host GOMAXPROCS-grouping by the LLC fan-out approximates the
+// machine closely enough for the OS scheduler to keep groups co-located.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// EnvTopology is the environment variable consulted when a team is created
+// without an explicit topology: its value is parsed like ParseTopology and
+// fitted to the team's worker count. CI's topo-smoke matrix uses it to run
+// the whole scheduler test suite under synthetic hierarchies.
+const EnvTopology = "HBC_TOPOLOGY"
+
+// Topology is a hierarchy of worker groups. The zero value (no levels) is
+// the flat topology: every worker in one group, which reproduces the classic
+// single-tier random-victim stealing.
+type Topology struct {
+	// Levels holds the fan-out per tier, outermost first; the product is the
+	// worker count the topology describes. Empty means flat.
+	Levels []int
+}
+
+// Flat returns the single-group topology for n workers.
+func Flat(n int) Topology {
+	if n < 1 {
+		n = 1
+	}
+	return Topology{Levels: []int{n}}
+}
+
+// ParseTopology parses a topology spec: "" or "flat" for the flat topology,
+// otherwise "AxBx..." fan-outs outermost first ("2x4", "2x2x2"). Every
+// fan-out must be a positive integer.
+func ParseTopology(s string) (Topology, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "flat" {
+		return Topology{}, nil
+	}
+	parts := strings.Split(s, "x")
+	levels := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return Topology{}, fmt.Errorf("sched: invalid topology %q: fan-out %q must be a positive integer", s, p)
+		}
+		levels = append(levels, n)
+	}
+	return Topology{Levels: levels}, nil
+}
+
+// MustParseTopology is ParseTopology panicking on error, for specs known at
+// compile time (tests, benchmarks).
+func MustParseTopology(s string) Topology {
+	t, err := ParseTopology(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DetectTopology approximates the host hierarchy for n workers by grouping
+// them with the given fan-out (workers per group): n=16, fanout=4 yields
+// "4x4". With no real core-to-cache mapping available from pure Go this is a
+// heuristic, but grouping by the last-level-cache fan-out is exactly what a
+// hierarchical OpenMP runtime does when hwloc is absent. fanout < 2 or
+// fanout >= n yields the flat topology (grouping would be trivial).
+func DetectTopology(n, fanout int) Topology {
+	if n < 2 || fanout < 2 || fanout >= n {
+		return Flat(n)
+	}
+	groups := (n + fanout - 1) / fanout
+	return Topology{Levels: []int{groups, fanout}}.Fit(n)
+}
+
+// TopologyFromEnv returns the topology selected by the HBC_TOPOLOGY
+// environment variable, fitted to n workers, or the flat topology when the
+// variable is unset, empty, or malformed (a bad value must not take the
+// runtime down — it degrades to the classic flat behavior).
+func TopologyFromEnv(n int) Topology {
+	t, err := ParseTopology(os.Getenv(EnvTopology))
+	if err != nil {
+		return Flat(n)
+	}
+	return t.Fit(n)
+}
+
+// Workers returns the worker count the topology describes (the product of
+// its levels), or 0 for the flat zero value, which fits any count.
+func (t Topology) Workers() int {
+	if len(t.Levels) == 0 {
+		return 0
+	}
+	n := 1
+	for _, l := range t.Levels {
+		n *= l
+	}
+	return n
+}
+
+// Depth returns the number of levels (0 for flat).
+func (t Topology) Depth() int { return len(t.Levels) }
+
+// String renders the topology as a spec ParseTopology accepts.
+func (t Topology) String() string {
+	if len(t.Levels) == 0 {
+		return "flat"
+	}
+	parts := make([]string, len(t.Levels))
+	for i, l := range t.Levels {
+		parts[i] = strconv.Itoa(l)
+	}
+	return strings.Join(parts, "x")
+}
+
+// Groups returns the number of leaf groups: the product of every level but
+// the innermost (1 for flat or single-level topologies).
+func (t Topology) Groups() int {
+	if len(t.Levels) < 2 {
+		return 1
+	}
+	n := 1
+	for _, l := range t.Levels[:len(t.Levels)-1] {
+		n *= l
+	}
+	return n
+}
+
+// GroupTopology returns the topology of one leaf group's interior: the
+// innermost level as a flat group ("2x4" → "4", "2x2x2" → "2"). A serving
+// pool that places one shard per group hands each shard team this subtree.
+func (t Topology) GroupTopology() Topology {
+	if len(t.Levels) == 0 {
+		return Topology{}
+	}
+	return Flat(t.Levels[len(t.Levels)-1])
+}
+
+// Fit adapts the topology to exactly n workers. A topology whose product
+// already equals n is returned unchanged; otherwise the group structure
+// (every level but the innermost) is kept and the innermost fan-out is
+// re-derived by spreading n workers across the leaf groups as evenly as
+// possible — Fit(6) of "2x4" is "2x3". When n is smaller than the group
+// count the hierarchy would be mostly empty, so it collapses to flat.
+func (t Topology) Fit(n int) Topology {
+	if n < 1 {
+		n = 1
+	}
+	if len(t.Levels) == 0 {
+		return Flat(n)
+	}
+	if t.Workers() == n {
+		return t
+	}
+	groups := t.Groups()
+	if groups < 2 || n < groups*2 {
+		// Fewer than two workers per group: grouping buys nothing.
+		return Flat(n)
+	}
+	levels := append([]int(nil), t.Levels[:len(t.Levels)-1]...)
+	per := (n + groups - 1) / groups
+	return Topology{Levels: append(levels, per)}
+}
+
+// path returns worker w's coordinates through the levels, outermost first.
+// The innermost coordinate is the position within the leaf group.
+func (t Topology) path(w int) []int {
+	p := make([]int, len(t.Levels))
+	for i := len(t.Levels) - 1; i >= 0; i-- {
+		p[i] = w % t.Levels[i]
+		w /= t.Levels[i]
+	}
+	return p
+}
+
+// GroupOf returns the leaf group a worker belongs to (0 for flat).
+func (t Topology) GroupOf(w int) int {
+	if len(t.Levels) < 2 {
+		return 0
+	}
+	return w / t.Levels[len(t.Levels)-1]
+}
+
+// Distance returns the steal distance between two workers: 0 within a leaf
+// group, 1 between sibling groups (same parent at the next level up), and so
+// on — the number of levels, counted from the innermost, above the deepest
+// tier the two workers share. Workers of a flat topology are all at
+// distance 0.
+func (t Topology) Distance(a, b int) int {
+	if len(t.Levels) < 2 || a == b {
+		return 0
+	}
+	pa, pb := t.path(a), t.path(b)
+	// Find the outermost level on which the coordinates differ; distance is
+	// how many levels lie at or below it, excluding the innermost (position
+	// within a group does not add distance).
+	for i := range pa[:len(pa)-1] {
+		if pa[i] != pb[i] {
+			return len(t.Levels) - 1 - i
+		}
+	}
+	return 0
+}
+
+// Tiers returns, for worker w among n workers, the other workers grouped by
+// steal distance: tiers[0] is w's own leaf group (distance 0), tiers[1] the
+// workers at distance 1, and so on. Every other worker appears in exactly
+// one tier; empty tiers are elided from the tail but never from the middle,
+// so the widening search can iterate tiers in order. The topology must
+// already be fitted to n (Fit).
+func (t Topology) Tiers(w, n int) [][]int {
+	maxd := 0
+	if len(t.Levels) >= 2 {
+		maxd = len(t.Levels) - 1
+	}
+	tiers := make([][]int, maxd+1)
+	for v := 0; v < n; v++ {
+		if v == w {
+			continue
+		}
+		d := t.Distance(w, v)
+		if d > maxd { // defensively clamp; cannot happen on a fitted topology
+			d = maxd
+		}
+		tiers[d] = append(tiers[d], v)
+	}
+	// Drop empty trailing tiers (e.g. a fitted topology whose last group is
+	// smaller, leaving some distances unpopulated for some workers).
+	for len(tiers) > 1 && len(tiers[len(tiers)-1]) == 0 {
+		tiers = tiers[:len(tiers)-1]
+	}
+	return tiers
+}

@@ -115,16 +115,38 @@ func PromotionTripleTraced(b *testing.B) {
 	}
 }
 
-// StealLatency measures the cross-worker slow path on a two-worker team:
-// worker 0 spawns batches that worker 1 must steal to stay busy. It reports
-// the scheduler's own ns/steal (time a successful steal spent searching for
-// a victim) and the steal rate via the monitoring counters.
-func StealLatency(b *testing.B) {
-	team := sched.NewTeam(2)
-	defer team.Close()
+// Config parameterizes the team-shape-sensitive benchmarks (the stealing
+// ones); the zero value reproduces the historical defaults. Single-worker
+// fast-path benchmarks (SpawnJoin, PromotionTriple*) ignore it: their whole
+// point is a deterministic owner-only team.
+type Config struct {
+	// Workers sizes the stealing benchmarks' team. Default 2 for
+	// StealLatency; StealLatencyCross defaults to its topology's worker
+	// count.
+	Workers int
+	// Topology is the worker-group hierarchy applied to the stealing
+	// benchmarks' team (fitted to the worker count). The zero value is
+	// flat. StealLatencyCross needs >= 2 leaf groups and substitutes "2x2"
+	// when the configured topology collapses to fewer.
+	Topology sched.Topology
+}
+
+func (c Config) workers() int {
+	if c.Workers < 2 {
+		return 2
+	}
+	return c.Workers
+}
+
+// stealDrive is the shared body of the stealing benchmarks: the root worker
+// spawns batches of short compute tasks that the rest of the team must steal
+// to stay busy, and the monitoring counters report the scheduler's own
+// ns/steal (time a successful steal spent searching), the steal rate, and —
+// on a grouped topology — how many steals crossed a group boundary.
+func stealDrive(b *testing.B, team *sched.Team, submit func(func(w *sched.Worker)) error) {
 	before := team.Counters()
 	const batch = 64
-	err := team.Run(func(w *sched.Worker) {
+	err := submit(func(w *sched.Worker) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -146,6 +168,79 @@ func StealLatency(b *testing.B) {
 		b.ReportMetric(float64(d.StealNanos)/float64(d.Steals), "ns/steal")
 	}
 	b.ReportMetric(float64(d.Steals)/float64(b.N), "steals/op")
+	if team.Groups() > 1 {
+		b.ReportMetric(float64(d.StealsRemote)/float64(b.N), "remote-steals/op")
+	}
+}
+
+// StealLatencyWith returns the StealLatency benchmark for the given team
+// shape (cfg.Workers workers under cfg.Topology).
+func StealLatencyWith(cfg Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		team := sched.NewTeam(cfg.workers(), sched.WithTopology(cfg.Topology))
+		defer team.Close()
+		stealDrive(b, team, team.Run)
+	}
+}
+
+// StealLatency measures the cross-worker slow path on a two-worker team:
+// worker 0 spawns batches that worker 1 must steal to stay busy — the
+// historical headline configuration (flat, two workers).
+func StealLatency(b *testing.B) { StealLatencyWith(Config{})(b) }
+
+// StealLatencyCrossWith returns the cross-group StealLatency benchmark: the
+// team is grouped (cfg.Topology when it keeps >= 2 leaf groups after
+// fitting, else "2x2"), and the root is pinned to group 0 via RunOn, so
+// every batch originates in one group and the other groups' workers must
+// cross a boundary to help. Remote-steals/op quantifies that traffic.
+func StealLatencyCrossWith(cfg Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		topo, n := cfg.Topology, cfg.Workers
+		if n < 2 {
+			n = topo.Workers()
+		}
+		if n < 2 || topo.Fit(n).Groups() < 2 {
+			topo = sched.MustParseTopology("2x2")
+			n = topo.Workers()
+		}
+		team := sched.NewTeam(n, sched.WithTopology(topo))
+		defer team.Close()
+		stealDrive(b, team, func(fn func(w *sched.Worker)) error {
+			return team.RunOn(0, fn)
+		})
+	}
+}
+
+// StealLatencyCross is StealLatencyCrossWith on the default "2x2" topology.
+func StealLatencyCross(b *testing.B) { StealLatencyCrossWith(Config{})(b) }
+
+// PromotionTriplePinned is PromotionTriple on a grouped team ("2x2") with
+// the root pinned to group 0: the promotion-shaped fast path exercised with
+// the full topology machinery (group inboxes, tiered victim lists) in force.
+// Allocations are reported but not gated to zero: unlike the single-worker
+// PromotionTriple, idle remote workers may legitimately steal a task, and a
+// stolen task is recycled into the thief's pool rather than the owner's.
+func PromotionTriplePinned(b *testing.B) {
+	team := sched.NewTeam(4, sched.WithTopology(sched.MustParseTopology("2x2")))
+	defer team.Close()
+	err := team.RunOn(0, func(w *sched.Worker) {
+		warm(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := w.NewLatch(1)
+			w.Spawn(l, nop) // slice A
+			w.Spawn(l, nop) // slice B
+			w.Spawn(l, nop) // leftover
+			l.Done()
+			w.HelpUntil(l)
+			w.FreeLatch(l)
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
 }
 
 // warm primes a worker's task and latch free lists so pooled-object
@@ -168,13 +263,21 @@ type NamedBench struct {
 	Fn   func(b *testing.B)
 }
 
-// BenchList returns the scheduler benchmark suite in gate order.
-func BenchList() []NamedBench {
+// BenchList returns the scheduler benchmark suite in gate order, under the
+// default team shape.
+func BenchList() []NamedBench { return BenchListWith(Config{}) }
+
+// BenchListWith returns the scheduler benchmark suite in gate order, with
+// the team-shape-sensitive benchmarks parameterized by cfg (cmd/hbcbench's
+// -workers / -topology flags).
+func BenchListWith(cfg Config) []NamedBench {
 	return []NamedBench{
 		{Name: "SpawnJoin", Fn: SpawnJoin},
 		{Name: "PromotionTriple", Fn: PromotionTriple},
 		{Name: "PromotionTripleTraced", Fn: PromotionTripleTraced},
-		{Name: "StealLatency", Fn: StealLatency},
+		{Name: "PromotionTriplePinned", Fn: PromotionTriplePinned},
+		{Name: "StealLatency", Fn: StealLatencyWith(cfg)},
+		{Name: "StealLatencyCross", Fn: StealLatencyCrossWith(cfg)},
 		{Name: "PolicyNextChunk", Fn: PolicyNextChunk},
 	}
 }

@@ -16,7 +16,7 @@ func mkreq(tenant string) *request {
 }
 
 func TestFairQueueRoundRobin(t *testing.T) {
-	q := newFairQueue(16)
+	q := newFairQueue(16, 1)
 	// Hot tenant a enqueues 6 before b and c enqueue 2 each.
 	for i := 0; i < 6; i++ {
 		if !q.push(mkreq("a")) {
@@ -43,7 +43,7 @@ func TestFairQueueRoundRobin(t *testing.T) {
 }
 
 func TestFairQueueCapacityAndClose(t *testing.T) {
-	q := newFairQueue(2)
+	q := newFairQueue(2, 1)
 	if !q.push(mkreq("a")) || !q.push(mkreq("a")) {
 		t.Fatal("pushes below capacity rejected")
 	}
@@ -64,7 +64,7 @@ func TestFairQueueCapacityAndClose(t *testing.T) {
 }
 
 func TestFairQueuePopBlocksUntilPush(t *testing.T) {
-	q := newFairQueue(4)
+	q := newFairQueue(4, 1)
 	got := make(chan *request)
 	go func() { got <- q.pop() }()
 	time.Sleep(10 * time.Millisecond)

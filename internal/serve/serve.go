@@ -109,6 +109,16 @@ type Config struct {
 	// WorkersPerShard sets each team's worker count (default
 	// max(1, NumCPU/Shards)).
 	WorkersPerShard int
+	// Topology, when non-flat, drives topology-aware shard placement. Shards
+	// defaults to the topology's leaf-group count and WorkersPerShard to the
+	// group size, so each shard team occupies exactly one group; with that
+	// 1:1 placement each team runs the group's interior sub-topology, and
+	// with any other shard count the whole topology is fitted to each team's
+	// worker count instead. A multi-shard pool then routes each tenant to a
+	// home shard (stable FNV hash of the tenant name) with work-conserving
+	// fallback, so same-tenant requests keep hitting the same group. The
+	// zero value leaves placement flat and lets HBC_TOPOLOGY apply per team.
+	Topology hbc.Topology
 	// QueueDepth bounds the admission queue across all tenants (default 64).
 	// A request arriving at a full queue is shed with *ErrOverloaded.
 	QueueDepth int
@@ -136,6 +146,14 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if g := c.Topology.Groups(); g > 1 {
+		if c.Shards < 1 {
+			c.Shards = g
+		}
+		if c.WorkersPerShard < 1 && c.Shards == g {
+			c.WorkersPerShard = c.Topology.GroupTopology().Workers()
+		}
+	}
 	if c.Shards < 1 {
 		c.Shards = 2
 	}
@@ -307,7 +325,7 @@ func NewPool(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
 	p := &Pool{
 		cfg:     cfg,
-		q:       newFairQueue(cfg.QueueDepth),
+		q:       newFairQueue(cfg.QueueDepth, cfg.Shards),
 		kernels: make(map[string]bool),
 		memo:    make(map[string]*memoEntry),
 		idem:    newIdemCache(cfg.IdemTTL),
@@ -315,8 +333,22 @@ func NewPool(cfg Config) *Pool {
 		active:  make(map[*request]struct{}),
 		tenants: make(map[string]*tenantStats),
 	}
+	// Topology-aware placement: with one shard per leaf group, each team is
+	// handed the group's interior sub-topology; any other shard count gets
+	// the whole hierarchy, fitted by the team to its own worker count.
+	shardTopo := hbc.Topology{}
+	placeTopo := cfg.Topology.Groups() > 1
+	if placeTopo {
+		shardTopo = cfg.Topology
+		if cfg.Shards == cfg.Topology.Groups() {
+			shardTopo = cfg.Topology.GroupTopology()
+		}
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		opts := []hbc.Option{hbc.Workers(cfg.WorkersPerShard), hbc.WithName(fmt.Sprintf("shard%d", i))}
+		if placeTopo {
+			opts = append(opts, hbc.WithTopology(shardTopo))
+		}
 		if cfg.Heartbeat > 0 {
 			opts = append(opts, hbc.Heartbeat(cfg.Heartbeat))
 		}
@@ -566,7 +598,7 @@ func (p *Pool) updateEWMA(d time.Duration) {
 func (p *Pool) shardLoop(s *shard) {
 	defer p.wg.Done()
 	for {
-		r := p.q.pop()
+		r := p.q.popFor(s.id)
 		if r == nil {
 			return
 		}
@@ -612,6 +644,13 @@ func (p *Pool) serveOne(s *shard, r *request) {
 	}
 	r.done <- outcome{res: Result{Value: v, Shard: s.id, Queued: queued, Run: dur}, err: err}
 }
+
+// Shards returns the number of shard teams in the pool — which may have
+// been derived from Config.Topology rather than set explicitly.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// ShardWorkers returns the worker count of each shard's team.
+func (p *Pool) ShardWorkers() int { return p.shards[0].team.Size() }
 
 // Draining reports whether a drain has begun — the bit a /healthz endpoint
 // reflects so load balancers stop routing before in-flight work finishes.
@@ -702,6 +741,10 @@ type Stats struct {
 	IdemHits int64
 	// IdemEntries is the idempotency cache's current entry count.
 	IdemEntries int
+	// AffinePops counts dispatches that served a tenant on its home shard,
+	// ForeignPops dispatches where the work-conserving fallback crossed
+	// homes. Both stay 0 on a single-shard pool (no affinity to keep).
+	AffinePops, ForeignPops int64
 	// Ready mirrors Pool.Ready; Draining reports drain state.
 	Ready    bool
 	Draining bool
@@ -714,7 +757,10 @@ func (p *Pool) Stats() Stats {
 		idle += s.team.IdleWorkers()
 	}
 	ready, _ := p.Ready()
+	affine, foreign := p.q.affinity()
 	return Stats{
+		AffinePops:  affine,
+		ForeignPops: foreign,
 		Ready:       ready,
 		QueueDepth:  p.q.depth(),
 		QueueCap:    p.cfg.QueueDepth,
@@ -752,6 +798,8 @@ func (p *Pool) registerMetrics(reg *telemetry.Registry) {
 		emit("memo_hits_total", float64(s.MemoHits))
 		emit("idem_hits_total", float64(s.IdemHits))
 		emit("idem_entries", float64(s.IdemEntries))
+		emit("tenant_affine_pops_total", float64(s.AffinePops))
+		emit("tenant_foreign_pops_total", float64(s.ForeignPops))
 		if s.Ready {
 			emit("ready", 1)
 		} else {

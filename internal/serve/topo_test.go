@@ -1,0 +1,128 @@
+package serve
+
+// Topology-aware placement and tenant-affine routing: shards occupy leaf
+// groups of the pool topology, and the fair queue prefers serving a tenant
+// on its home shard without ever idling a shard that has work to take.
+
+import (
+	"fmt"
+	"testing"
+
+	"hbc"
+)
+
+// tenantHomedOn finds a tenant name whose FNV home among n shards is the
+// given shard — tests stay deterministic without hardcoding hash values.
+func tenantHomedOn(t *testing.T, shard, n int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		if homeShard(name, n) == shard {
+			return name
+		}
+	}
+	t.Fatalf("no tenant name homed on shard %d/%d in 10000 tries", shard, n)
+	return ""
+}
+
+func TestTopologyDrivesShardPlacement(t *testing.T) {
+	cases := []struct {
+		spec             string
+		shards, perShard int
+		shardGroups      int // leaf groups inside each shard team
+	}{
+		// 2x2: one shard per group, each team holds the 2-worker interior.
+		{"2x2", 2, 2, 1},
+		// 2x2x2: 4 leaf groups of 2.
+		{"2x2x2", 4, 2, 1},
+	}
+	for _, c := range cases {
+		p := NewPool(Config{Topology: hbc.MustParseTopology(c.spec)})
+		if got := len(p.shards); got != c.shards {
+			t.Errorf("%s: shards = %d, want %d", c.spec, got, c.shards)
+		}
+		for _, s := range p.shards {
+			if got := s.team.Size(); got != c.perShard {
+				t.Errorf("%s: shard %d size = %d, want %d", c.spec, s.id, got, c.perShard)
+			}
+			if got := s.team.Groups(); got != c.shardGroups {
+				t.Errorf("%s: shard %d groups = %d, want %d", c.spec, s.id, got, c.shardGroups)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestTopologyExplicitShardCountFitsWholeHierarchy(t *testing.T) {
+	// Shard count differing from the group count cannot place 1:1; each team
+	// is handed the whole topology, fitted to its own worker count.
+	p := NewPool(Config{Topology: hbc.MustParseTopology("2x2"), Shards: 1, WorkersPerShard: 4})
+	defer p.Close()
+	if len(p.shards) != 1 {
+		t.Fatalf("shards = %d, want 1", len(p.shards))
+	}
+	team := p.shards[0].team
+	if team.Size() != 4 || team.Groups() != 2 {
+		t.Fatalf("shard team size/groups = %d/%d, want 4/2", team.Size(), team.Groups())
+	}
+}
+
+func TestFairQueuePrefersHomeShard(t *testing.T) {
+	q := newFairQueue(16, 2)
+	t0 := tenantHomedOn(t, 0, 2)
+	t1 := tenantHomedOn(t, 1, 2)
+	// t0 enqueues first, so plain round-robin would hand its request to
+	// whichever shard pops next; affinity must route each tenant home.
+	q.push(mkreq(t0))
+	q.push(mkreq(t1))
+	if r := q.popFor(1); r.tenant != t1 {
+		t.Fatalf("shard 1 popped %q, want home tenant %q", r.tenant, t1)
+	}
+	if r := q.popFor(0); r.tenant != t0 {
+		t.Fatalf("shard 0 popped %q, want home tenant %q", r.tenant, t0)
+	}
+	affine, foreign := q.affinity()
+	if affine != 2 || foreign != 0 {
+		t.Fatalf("affinity = %d/%d, want 2 affine / 0 foreign", affine, foreign)
+	}
+}
+
+func TestFairQueueWorkConservingFallback(t *testing.T) {
+	q := newFairQueue(16, 2)
+	t0 := tenantHomedOn(t, 0, 2)
+	q.push(mkreq(t0))
+	// Shard 1 has no home work queued; it must take shard 0's tenant rather
+	// than idle while work waits.
+	if r := q.popFor(1); r == nil || r.tenant != t0 {
+		t.Fatalf("foreign shard did not take waiting work")
+	}
+	affine, foreign := q.affinity()
+	if affine != 0 || foreign != 1 {
+		t.Fatalf("affinity = %d/%d, want 0 affine / 1 foreign", affine, foreign)
+	}
+}
+
+func TestFairQueueAffinityKeepsCoHomedTenantsFair(t *testing.T) {
+	q := newFairQueue(32, 2)
+	a := tenantHomedOn(t, 0, 2)
+	var b string
+	for i := 10000; ; i++ {
+		b = fmt.Sprintf("tenant-%d", i)
+		if b != a && homeShard(b, 2) == 0 {
+			break
+		}
+	}
+	// Two tenants homed on shard 0, interleaved backlog: service must
+	// alternate between them, not drain one FIFO first.
+	for i := 0; i < 2; i++ {
+		q.push(mkreq(a))
+		q.push(mkreq(b))
+	}
+	got := []string{q.popFor(0).tenant, q.popFor(0).tenant, q.popFor(0).tenant, q.popFor(0).tenant}
+	want := []string{a, b, a, b}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}

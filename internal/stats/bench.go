@@ -28,10 +28,16 @@ type BenchRecord struct {
 // the gate only ratio-checks times between runs on the same runner, while
 // allocs/op gates are machine-independent.
 type BenchSuite struct {
-	Suite      string        `json:"suite"`
-	GoOS       string        `json:"goos"`
-	GoArch     string        `json:"goarch"`
-	Workers    int           `json:"workers,omitempty"`
+	Suite   string `json:"suite"`
+	GoOS    string `json:"goos"`
+	GoArch  string `json:"goarch"`
+	Workers int    `json:"workers,omitempty"`
+	// Topology is the worker-group hierarchy the topology-sensitive
+	// benchmarks ran under (sched.Topology spec, e.g. "flat" or "2x4").
+	// Empty on suites written before the field existed or by suites the
+	// topology doesn't apply to; ratio comparisons across differing
+	// topologies are apples to oranges and are skipped by cmd/benchgate.
+	Topology   string        `json:"topology,omitempty"`
 	Benchmarks []BenchRecord `json:"benchmarks"`
 }
 
@@ -105,6 +111,18 @@ func CompareBenchSuites(base, cur *BenchSuite, maxRatio float64, zeroAlloc []str
 	for _, n := range zeroAlloc {
 		mustZero[n] = true
 	}
+	// Time ratios measured under different worker-group hierarchies compare
+	// apples to oranges (a cross-group steal is supposed to cost more than a
+	// flat one); drop the time gate and say so. Alloc gates stay: 0 allocs/op
+	// is 0 allocs/op under any topology. A baseline written before the
+	// topology field existed reads as "" and is treated the same way.
+	topoNote := ""
+	if maxRatio > 0 && base.Topology != cur.Topology {
+		topoNote = fmt.Sprintf(
+			"topology mismatch (baseline %q vs current %q): time-ratio gate skipped\n",
+			base.Topology, cur.Topology)
+		maxRatio = 0
+	}
 	names := map[string]bool{}
 	for _, b := range base.Benchmarks {
 		names[b.Name] = true
@@ -118,7 +136,7 @@ func CompareBenchSuites(base, cur *BenchSuite, maxRatio float64, zeroAlloc []str
 	}
 	sort.Strings(sorted)
 
-	out := ""
+	out := topoNote
 	for _, name := range sorted {
 		b, inBase := base.Find(name)
 		c, inCur := cur.Find(name)

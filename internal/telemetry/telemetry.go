@@ -48,7 +48,9 @@ const (
 	// was forked iff A != B (an ancestor was split).
 	KindPromotion Kind = iota
 	// KindSteal is a successful steal by this worker: A is the victim
-	// worker, B the nanoseconds the steal spent searching.
+	// worker, B the nanoseconds the steal spent searching, C the steal
+	// distance in the team's topology (0 = same leaf group, 1 = sibling
+	// group, and so on; always 0 on a flat team).
 	KindSteal
 	// KindPark marks this worker giving up spinning and blocking.
 	KindPark
